@@ -1,0 +1,112 @@
+"""Benchmark / reproduction of the Armadillo discussion in Section 4.
+
+The paper explains Armadillo's simplified chain heuristic: chains of length
+three and four are split by comparing the sizes of candidate sub-products,
+longer chains are broken into groups of at most four, the parenthesization
+``(AB)(CD)`` can never be found, and the produced orderings have good
+cache behaviour (every product consumes the previous result).  Thanks to the
+heuristic, Armadillo is the strongest baseline in the paper's evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.algebra import Matrix, Times
+from repro.baselines import ARMADILLO_NAIVE, JULIA_NAIVE, build_gmc_program
+from repro.baselines.parenthesizers import armadillo, left_to_right, tree_products
+from repro.core.mcp import MatrixChainDP, parenthesization_cost
+
+
+def _random_sizes(rng, length):
+    return [rng.randrange(50, 501, 50) for _ in range(length + 1)]
+
+
+def test_armadillo_heuristic_quality(benchmark):
+    """The heuristic is consistently between the DP optimum and plain
+    left-to-right evaluation, and often matches the optimum."""
+    rng = random.Random(4)
+    instances = [_random_sizes(rng, rng.randint(3, 8)) for _ in range(60)]
+
+    def evaluate_all():
+        rows = []
+        for sizes in instances:
+            shapes = [(sizes[i], sizes[i + 1]) for i in range(len(sizes) - 1)]
+            optimal = MatrixChainDP(sizes).optimal_cost
+            heuristic = parenthesization_cost(armadillo(shapes), sizes)
+            naive = parenthesization_cost(left_to_right(shapes), sizes)
+            rows.append((optimal, heuristic, naive))
+        return rows
+
+    rows = benchmark(evaluate_all)
+    matches_optimum = 0
+    for optimal, heuristic, naive in rows:
+        assert optimal - 1e-6 <= heuristic
+        if heuristic <= optimal * 1.0001:
+            matches_optimum += 1
+    # The heuristic finds the true optimum on a decent fraction of chains and
+    # is no worse than left-to-right on average.
+    assert matches_optimum >= len(rows) * 0.2
+    assert sum(h for _, h, _ in rows) <= sum(n for _, _, n in rows) * 1.0001
+
+
+def test_armadillo_never_produces_balanced_four_way_split(benchmark):
+    rng = random.Random(5)
+
+    def run():
+        trees = []
+        for _ in range(200):
+            sizes = _random_sizes(rng, 4)
+            shapes = [(sizes[i], sizes[i + 1]) for i in range(4)]
+            trees.append(armadillo(shapes))
+        return trees
+
+    for tree in benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0):
+        assert tree != ((0, 1), (2, 3))
+
+
+def test_armadillo_orderings_are_cache_friendly(benchmark):
+    """Every product of an Armadillo ordering (for chains of <= 4 factors)
+    consumes the result of the previous product -- the property the paper
+    credits for its good cache behaviour."""
+    rng = random.Random(6)
+
+    def run():
+        orderings = []
+        for _ in range(100):
+            length = rng.randint(3, 4)
+            sizes = _random_sizes(rng, length)
+            shapes = [(sizes[i], sizes[i + 1]) for i in range(length)]
+            orderings.append(tree_products(armadillo(shapes)))
+        return orderings
+
+    for products in benchmark.pedantic(run, rounds=1, iterations=1, warmup_rounds=0):
+        for previous, current in zip(products, products[1:]):
+            assert previous in (current[0], current[1])
+
+
+def test_armadillo_is_the_strongest_baseline_on_plain_chains(benchmark):
+    """On property-free chains the only differentiator is parenthesization,
+    so Armadillo (heuristic) must be at least as close to GMC as the
+    left-to-right libraries."""
+    rng = random.Random(7)
+    chains = []
+    for _ in range(20):
+        length = rng.randint(3, 8)
+        sizes = _random_sizes(rng, length)
+        matrices = [Matrix(f"M{i}", sizes[i], sizes[i + 1]) for i in range(length)]
+        chains.append(Times(*matrices))
+
+    def run():
+        gmc_total = sum(build_gmc_program(chain).total_flops for chain in chains)
+        armadillo_total = sum(
+            ARMADILLO_NAIVE.build_program(chain).total_flops for chain in chains
+        )
+        julia_total = sum(JULIA_NAIVE.build_program(chain).total_flops for chain in chains)
+        return gmc_total, armadillo_total, julia_total
+
+    gmc_total, armadillo_total, julia_total = benchmark.pedantic(
+        run, rounds=1, iterations=1, warmup_rounds=0
+    )
+    assert gmc_total <= armadillo_total + 1e-6
+    assert armadillo_total <= julia_total + 1e-6

@@ -1,0 +1,21 @@
+"""Benchmark / reproduction of the Section 3.4 completeness discussion.
+
+Without a kernel for ``X^-1 Y^-1`` the chain ``A^-1 B^-1 C`` must still be
+solvable (two linear solves, right to left), while the two-factor chain
+``A^-1 B^-1`` becomes uncomputable; with the composite kernel the paper
+assumes in Section 5 it is computable again.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.worked_examples import completeness_example
+
+
+def test_completeness_behaviour(benchmark):
+    example = benchmark(completeness_example)
+    data = example.data
+    assert data["three_factor_computable"] is True
+    assert data["three_factor_parenthesization"] == "(A^-1 * (B^-1 * C))"
+    assert data["three_factor_kernels"] == ["GESV", "GESV"]
+    assert data["two_factor_computable"] is False
+    assert data["two_factor_with_gesv2_computable"] is True

@@ -1,0 +1,78 @@
+"""Benchmark / reproduction of Table 1: kernel patterns, constraints, costs.
+
+Also benchmarks the many-to-one matcher, whose O(1)-per-expression behaviour
+(independent of the number of kernels and of the matrix sizes) is the basis
+of the complexity claim in Section 3.4.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.algebra import Matrix, Property, Times
+from repro.experiments.tables import table1
+from repro.kernels import default_catalog
+from repro.matching import Substitution
+
+
+def test_table1_reproduction(benchmark):
+    result = benchmark(table1)
+    names = [row["name"] for row in result.rows]
+    assert names == ["GEMM", "TRMM", "SYMM", "TRSM", "SYRK"]
+    # Costs follow the paper's conventions: the structured kernels perform
+    # half the scalar operations of GEMM.
+    catalog = default_catalog()
+    m, n, k = 1000, 800, 600
+    x = Matrix("X", m, k)
+    y = Matrix("Y", k, n)
+    substitution = Substitution({"X": x, "Y": y})
+    gemm = catalog.by_id("gemm_nn").flops(substitution)
+    assert gemm == 2.0 * m * n * k
+    square_x = Matrix("X", m, m, {Property.LOWER_TRIANGULAR})
+    rhs = Matrix("Y", m, n)
+    trmm = catalog.by_id("trmm_l_lower_nn").flops(Substitution({"X": square_x, "Y": rhs}))
+    assert trmm == pytest.approx(m * m * n)
+
+
+def test_matching_cost_is_independent_of_matrix_size(benchmark):
+    """Matching an expression against the whole catalog is O(1): the time
+    does not grow with the operand sizes (Section 3.4)."""
+    catalog = default_catalog()
+    small = Times(Matrix("A", 10, 10, {Property.SPD}).I, Matrix("B", 10, 10))
+    large = Times(Matrix("A", 4000, 4000, {Property.SPD}).I, Matrix("B", 4000, 4000))
+
+    def match_both():
+        return len(catalog.match(small)), len(catalog.match(large))
+
+    small_matches, large_matches = benchmark(match_both)
+    assert small_matches == large_matches
+    assert small_matches >= 3
+
+
+def test_catalog_is_complete_for_all_wrapper_combinations(benchmark):
+    """Every combination of transposed/inverted operands in a binary product
+    is covered by at least one kernel -- the computability assumption of the
+    paper (Section 1)."""
+    from repro.algebra.simplify import wrap_leaf
+
+    catalog = default_catalog()
+    left = Matrix("A", 60, 60, {Property.NON_SINGULAR})
+    right = Matrix("B", 60, 60, {Property.NON_SINGULAR})
+
+    def match_all_combinations():
+        results = {}
+        for left_transposed in (False, True):
+            for left_inverted in (False, True):
+                for right_transposed in (False, True):
+                    for right_inverted in (False, True):
+                        expr = Times(
+                            wrap_leaf(left, left_transposed, left_inverted),
+                            wrap_leaf(right, right_transposed, right_inverted),
+                        )
+                        results[str(expr)] = len(catalog.match(expr))
+        return results
+
+    results = benchmark(match_all_combinations)
+    assert len(results) == 16
+    for expr_text, count in results.items():
+        assert count > 0, expr_text

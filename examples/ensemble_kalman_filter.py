@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""The ensemble Kalman filter chain ``X^b S (Y^b)^T R^-1`` (paper Section 1).
+
+The paper motivates the generalized matrix chain problem with expressions
+from real applications; one of them is the Kalman-gain-style chain
+``X^b_i S_i (Y^b_i)^T R_i^-1`` from the ensemble Kalman filter [Rao et al.,
+SISC 2017].  This example compiles that chain, compares the GMC solution
+against the naive and recommended Julia-style evaluations, and verifies all
+three numerically.
+
+Run with::
+
+    python examples/ensemble_kalman_filter.py
+"""
+
+from __future__ import annotations
+
+from repro import GMCAlgorithm, Matrix, Property
+from repro.algebra import Times
+from repro.baselines import JULIA_NAIVE, JULIA_RECOMMENDED
+from repro.codegen import generate_numpy
+from repro.runtime import allclose, execute_program, instantiate_expression, time_program
+
+
+def build_chain(state_dim: int, ensemble: int, observations: int):
+    """The Kalman chain with a state of ``state_dim`` variables, an ensemble
+    of ``ensemble`` members and ``observations`` observed quantities."""
+    xb = Matrix("Xb", state_dim, ensemble)                      # forecast anomalies
+    s = Matrix("S", ensemble, ensemble, {Property.SPD})         # ensemble covariance
+    yb = Matrix("Yb", observations, ensemble)                   # observation anomalies
+    r = Matrix("R", observations, observations, {Property.SPD})  # observation covariance
+    return Times(xb, s, yb.T, r.I)
+
+
+def main() -> None:
+    chain = build_chain(state_dim=400, ensemble=60, observations=300)
+    print(f"Kalman gain chain: K := {chain}\n")
+
+    gmc_program = GMCAlgorithm().generate(chain)
+    naive_program = JULIA_NAIVE.build_program(chain)
+    recommended_program = JULIA_RECOMMENDED.build_program(chain)
+
+    print(f"{'strategy':<16} {'kernels':<40} {'MFLOPs':>10}")
+    for label, program in [
+        ("GMC", gmc_program),
+        ("Julia naive", naive_program),
+        ("Julia recomm.", recommended_program),
+    ]:
+        kernels = " -> ".join(program.kernel_names)
+        print(f"{label:<16} {kernels:<40} {program.total_flops / 1e6:>10.2f}")
+    print()
+
+    print("GMC-generated NumPy code:")
+    print(generate_numpy(gmc_program, function_name="kalman_gain"))
+    print()
+
+    environment = instantiate_expression(chain, seed=42)
+    for label, program in [
+        ("GMC", gmc_program),
+        ("Julia naive", naive_program),
+        ("Julia recomm.", recommended_program),
+    ]:
+        result = execute_program(program, environment)
+        timing = time_program(program, environment, repetitions=3)
+        correct = allclose(chain, environment, result, rtol=1e-6, atol=1e-6)
+        print(f"{label:<16} measured {timing.best * 1e3:7.2f} ms   correct: {correct}")
+
+    print()
+    print(
+        "The GMC solution applies the observation-covariance solve to the small\n"
+        "ensemble-sized operand instead of inverting R explicitly, and exploits\n"
+        "the SPD structure of S and R through POSV/SYMM kernels."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Property propagation on the generalized-eigenproblem reduction ``L^-1 A L^-T``.
+
+Section 3.2 of the paper uses this expression to argue for *symbolic*
+property inference: when ``A' := L^-1 A L^-T`` is computed in floating-point
+arithmetic by solving two triangular systems, the symmetry of the result is
+destroyed by round-off, a runtime property check fails, and the downstream
+eigensolver has to fall back to the (about three times more expensive)
+non-symmetric algorithm.  Symbolic inference knows the result is symmetric
+regardless of how it is computed.
+
+This example demonstrates exactly that: the symbolic engine infers symmetry,
+the numerical result is *not* exactly symmetric, and the GMC algorithm still
+maps the chain onto two TRSM calls.
+
+Run with::
+
+    python examples/generalized_eigenproblem.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GMCAlgorithm, Matrix, Property, infer_properties
+from repro.algebra import Times
+from repro.runtime import execute_program, instantiate_expression
+
+
+def main() -> None:
+    n = 300
+    lower = Matrix("L", n, n, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+    a = Matrix("A", n, n, {Property.SYMMETRIC})
+    reduction = Times(lower.I, a, lower.invT)
+    print(f"reduction: A' := {reduction}\n")
+
+    # Symbolic inference: the result is symmetric by construction.
+    inferred = infer_properties(reduction)
+    print("symbolically inferred properties of A':")
+    for prop in sorted(p.name for p in inferred):
+        print(f"  - {prop}")
+    assert Property.SYMMETRIC in inferred
+    print()
+
+    # Compile and execute.
+    gmc = GMCAlgorithm()
+    solution = gmc.solve(reduction)
+    print(f"parenthesization: {solution.parenthesization()}")
+    print(f"kernels:          {' -> '.join(solution.kernel_sequence())}")
+    print(f"MFLOPs:           {solution.total_flops / 1e6:.1f}\n")
+
+    environment = instantiate_expression(reduction, seed=1)
+    result = execute_program(solution.program(), environment)
+
+    asymmetry = np.max(np.abs(result - result.T))
+    print(f"max |A' - A'^T| of the computed result: {asymmetry:.3e}")
+    print("  -> tiny but non-zero: a runtime check for exact symmetry fails,")
+    print("     while the symbolic inference above is exact and free.\n")
+
+    # What the downstream eigensolver choice costs (Section 3.2): a symmetric
+    # eigensolver needs about 4/3 n^3 FLOPs for the tridiagonal reduction, a
+    # non-symmetric one about 10 n^3 for the Hessenberg + QR iteration.
+    symmetric_eig = 4.0 / 3.0 * n ** 3
+    nonsymmetric_eig = 10.0 * n ** 3
+    print("downstream consequence for the eigensolver:")
+    print(f"  symmetric eigensolver     ~ {symmetric_eig / 1e6:8.1f} MFLOPs")
+    print(f"  non-symmetric eigensolver ~ {nonsymmetric_eig / 1e6:8.1f} MFLOPs")
+    print(f"  ratio                     ~ {nonsymmetric_eig / symmetric_eig:.1f}x")
+    print()
+    print(
+        "Because the GMC framework tracks symmetry symbolically, a compiler\n"
+        "built on it (Linnea) can keep using the symmetric eigensolver."
+    )
+
+
+if __name__ == "__main__":
+    main()

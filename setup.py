@@ -1,0 +1,10 @@
+"""Setuptools shim for environments without PEP 517/660 build frontends.
+
+``pip install -e .`` is the preferred installation route; this file exists so
+that ``python setup.py develop`` keeps working on minimal/offline setups
+where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

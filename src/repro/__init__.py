@@ -1,0 +1,74 @@
+"""Reproduction of "The Generalized Matrix Chain Algorithm" (CGO 2018).
+
+The package implements, from scratch, the Generalized Matrix Chain (GMC)
+algorithm of Barthels, Copik and Bientinesi together with every substrate it
+depends on: a symbolic expression language with property inference, a
+many-to-one pattern matcher, a BLAS/LAPACK-style kernel catalog, a flexible
+cost-metric framework, code generation, a NumPy execution backend, the
+baseline evaluation strategies the paper compares against and the experiment
+harness that regenerates the paper's tables and figures.
+
+Quick start
+-----------
+
+>>> from repro import Matrix, Property, generate_program
+>>> A = Matrix("A", 1000, 1000, {Property.SPD})
+>>> B = Matrix("B", 1000, 500)
+>>> C = Matrix("C", 500, 500, {Property.LOWER_TRIANGULAR})
+>>> program = generate_program(A.I * B * C.T)
+>>> len(program.calls) >= 2
+True
+"""
+
+from .algebra import (
+    Expression,
+    IdentityMatrix,
+    Inverse,
+    InverseTranspose,
+    Matrix,
+    Plus,
+    Property,
+    ShapeError,
+    Times,
+    Transpose,
+    Vector,
+    ZeroMatrix,
+    infer_properties,
+    normalize,
+    parse_program,
+)
+from .core import GMCAlgorithm, GMCSolution, MatrixChainDP, generate_program, solve_chain
+from .cost import CostMetric, FlopCount, PerformanceMetric
+from .kernels import Kernel, KernelCatalog, default_catalog
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Expression",
+    "Matrix",
+    "Vector",
+    "IdentityMatrix",
+    "ZeroMatrix",
+    "Times",
+    "Plus",
+    "Transpose",
+    "Inverse",
+    "InverseTranspose",
+    "Property",
+    "ShapeError",
+    "infer_properties",
+    "normalize",
+    "parse_program",
+    "GMCAlgorithm",
+    "GMCSolution",
+    "MatrixChainDP",
+    "solve_chain",
+    "generate_program",
+    "CostMetric",
+    "FlopCount",
+    "PerformanceMetric",
+    "Kernel",
+    "KernelCatalog",
+    "default_catalog",
+    "__version__",
+]

@@ -1,0 +1,307 @@
+"""A small textual front-end implementing the grammars of Fig. 1 and Fig. 2.
+
+The paper's compiler (Linnea) accepts two pieces of input: operand
+*definitions* (name, size and properties, Fig. 2) and *assignments* whose
+right-hand sides are linear-algebra expressions (Fig. 1).  This module
+provides an equivalent textual front-end so that examples, tests and the
+benchmark harness can state problems the way the paper writes them::
+
+    Matrix A (1000, 1000) <SPD>
+    Matrix B (1000, 500) <>
+    Matrix C (500, 500) <LowerTriangular>
+
+    X := A^-1 * B * C^T
+
+Grammar (informal)::
+
+    program     ->  (definition | assignment | blank)*
+    definition  ->  ("Matrix" | "Vector") NAME "(" INT ["," INT] ")" ["<" properties ">"]
+    properties  ->  [NAME ("," NAME)*]
+    assignment  ->  NAME ":=" expr
+    expr        ->  term ("+" term)*
+    term        ->  factor ("*" factor)*
+    factor      ->  atom postfix*
+    postfix     ->  "^T" | "^-1" | "^-T" | "'"
+    atom        ->  NAME | "(" expr ")" | "trans(" expr ")" | "inv(" expr ")"
+
+The parser produces :class:`~repro.algebra.expression.Matrix` leaves and the
+operator nodes of :mod:`repro.algebra.operators`; it performs shape checking
+through the expression constructors.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from .expression import Expression, Matrix, Vector
+from .operators import Inverse, InverseTranspose, Plus, Times, Transpose
+from .properties import Property, PropertyError, parse_property
+
+
+class ParseError(ValueError):
+    """Raised on any syntax or semantic error in DSL input."""
+
+    def __init__(self, message: str, line: Optional[int] = None) -> None:
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+        self.line = line
+
+
+# ---------------------------------------------------------------------------
+# Tokenizer
+# ---------------------------------------------------------------------------
+
+_TOKEN_SPEC = [
+    ("ASSIGN", r":="),
+    ("INVTRANS", r"\^-T"),
+    ("INV", r"\^-1"),
+    ("TRANS", r"\^T|'"),
+    ("NUMBER", r"\d+"),
+    ("NAME", r"[A-Za-z_][A-Za-z_0-9]*"),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("LANGLE", r"<"),
+    ("RANGLE", r">"),
+    ("COMMA", r","),
+    ("PLUS", r"\+"),
+    ("STAR", r"\*"),
+    ("SKIP", r"[ \t]+"),
+    ("COMMENT", r"#[^\n]*"),
+    ("MISMATCH", r"."),
+]
+
+_TOKEN_RE = re.compile("|".join(f"(?P<{name}>{pattern})" for name, pattern in _TOKEN_SPEC))
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    text: str
+    line: int
+
+
+def tokenize(line: str, line_number: int) -> List[Token]:
+    """Tokenize a single DSL line."""
+    tokens: List[Token] = []
+    for match in _TOKEN_RE.finditer(line):
+        kind = match.lastgroup or "MISMATCH"
+        text = match.group()
+        if kind in ("SKIP", "COMMENT"):
+            continue
+        if kind == "MISMATCH":
+            raise ParseError(f"unexpected character {text!r}", line_number)
+        tokens.append(Token(kind, text, line_number))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Program:
+    """The result of parsing a DSL program."""
+
+    operands: Dict[str, Matrix] = field(default_factory=dict)
+    assignments: List[Tuple[str, Expression]] = field(default_factory=list)
+
+    def expression(self, name: Optional[str] = None) -> Expression:
+        """Return the right-hand side of an assignment.
+
+        Without a *name*, the single assignment of the program is returned;
+        an error is raised when there are zero or multiple assignments.
+        """
+        if name is None:
+            if len(self.assignments) != 1:
+                raise ParseError(
+                    f"expected exactly one assignment, found {len(self.assignments)}"
+                )
+            return self.assignments[0][1]
+        for target, expr in self.assignments:
+            if target == name:
+                return expr
+        raise KeyError(name)
+
+
+class _LineParser:
+    """Recursive-descent parser over the token list of one expression."""
+
+    def __init__(self, tokens: List[Token], operands: Dict[str, Matrix], line: int) -> None:
+        self._tokens = tokens
+        self._operands = operands
+        self._line = line
+        self._position = 0
+
+    # -- token helpers ------------------------------------------------------
+    def _peek(self) -> Optional[Token]:
+        if self._position < len(self._tokens):
+            return self._tokens[self._position]
+        return None
+
+    def _next(self) -> Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of line", self._line)
+        self._position += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._next()
+        if token.kind != kind:
+            raise ParseError(f"expected {kind}, found {token.text!r}", self._line)
+        return token
+
+    def at_end(self) -> bool:
+        return self._peek() is None
+
+    # -- grammar ------------------------------------------------------------
+    def parse_expression(self) -> Expression:
+        terms = [self.parse_term()]
+        while self._peek() is not None and self._peek().kind == "PLUS":
+            self._next()
+            terms.append(self.parse_term())
+        if len(terms) == 1:
+            return terms[0]
+        return Plus(*terms)
+
+    def parse_term(self) -> Expression:
+        factors = [self.parse_factor()]
+        while True:
+            token = self._peek()
+            if token is not None and token.kind == "STAR":
+                self._next()
+                factors.append(self.parse_factor())
+            elif token is not None and token.kind in ("NAME", "LPAREN"):
+                # Implicit multiplication: "A B" or "A(B + C)".
+                factors.append(self.parse_factor())
+            else:
+                break
+        if len(factors) == 1:
+            return factors[0]
+        return Times(*factors)
+
+    def parse_factor(self) -> Expression:
+        expr = self.parse_atom()
+        while True:
+            token = self._peek()
+            if token is None:
+                break
+            if token.kind == "TRANS":
+                self._next()
+                expr = Transpose(expr)
+            elif token.kind == "INV":
+                self._next()
+                expr = Inverse(expr)
+            elif token.kind == "INVTRANS":
+                self._next()
+                expr = InverseTranspose(expr)
+            else:
+                break
+        return expr
+
+    def parse_atom(self) -> Expression:
+        token = self._next()
+        if token.kind == "LPAREN":
+            expr = self.parse_expression()
+            self._expect("RPAREN")
+            return expr
+        if token.kind == "NAME":
+            lowered = token.text.lower()
+            if lowered in ("inv", "trans") and self._peek() is not None and self._peek().kind == "LPAREN":
+                self._next()
+                inner = self.parse_expression()
+                self._expect("RPAREN")
+                return Inverse(inner) if lowered == "inv" else Transpose(inner)
+            if token.text not in self._operands:
+                raise ParseError(f"undefined operand {token.text!r}", self._line)
+            return self._operands[token.text]
+        raise ParseError(f"unexpected token {token.text!r}", self._line)
+
+
+def parse_program(source: str) -> Program:
+    """Parse a full DSL program (definitions followed by assignments)."""
+    program = Program()
+    for line_number, raw_line in enumerate(source.splitlines(), start=1):
+        line = raw_line.strip()
+        if not line or line.startswith("#"):
+            continue
+        tokens = tokenize(line, line_number)
+        if not tokens:
+            continue
+        head = tokens[0]
+        if head.kind == "NAME" and head.text in ("Matrix", "Vector"):
+            _parse_definition(tokens, program, line_number)
+        else:
+            _parse_assignment(tokens, program, line_number)
+    return program
+
+
+def parse_expression(source: str, operands: Dict[str, Matrix]) -> Expression:
+    """Parse a single expression against an existing operand dictionary."""
+    tokens = tokenize(source, 1)
+    parser = _LineParser(tokens, operands, 1)
+    expr = parser.parse_expression()
+    if not parser.at_end():
+        raise ParseError("trailing input after expression", 1)
+    return expr
+
+
+def _parse_definition(tokens: List[Token], program: Program, line: int) -> None:
+    iterator: Iterator[Token] = iter(tokens)
+    kind_token = next(iterator)
+    parser = _LineParser(tokens[1:], program.operands, line)
+    name = parser._expect("NAME").text
+    parser._expect("LPAREN")
+    rows = int(parser._expect("NUMBER").text)
+    columns: Optional[int] = None
+    token = parser._next()
+    if token.kind == "COMMA":
+        columns = int(parser._expect("NUMBER").text)
+        parser._expect("RPAREN")
+    elif token.kind != "RPAREN":
+        raise ParseError(f"expected ',' or ')', found {token.text!r}", line)
+    properties = set()
+    if not parser.at_end():
+        parser._expect("LANGLE")
+        while True:
+            token = parser._next()
+            if token.kind == "RANGLE":
+                break
+            if token.kind == "COMMA":
+                continue
+            if token.kind != "NAME":
+                raise ParseError(f"expected property name, found {token.text!r}", line)
+            if token.text.lower() in ("general", "none", "full"):
+                continue
+            try:
+                properties.add(parse_property(token.text))
+            except PropertyError as exc:
+                raise ParseError(str(exc), line) from exc
+        if not parser.at_end():
+            raise ParseError("trailing input after property list", line)
+    if name in program.operands:
+        raise ParseError(f"operand {name!r} defined twice", line)
+    if kind_token.text == "Vector":
+        if columns is not None and columns != 1:
+            operand: Matrix = Matrix(name, rows, columns, properties)
+        else:
+            operand = Vector(name, rows, properties)
+    else:
+        if columns is None:
+            columns = rows
+        operand = Matrix(name, rows, columns, properties)
+    program.operands[name] = operand
+
+
+def _parse_assignment(tokens: List[Token], program: Program, line: int) -> None:
+    if len(tokens) < 3 or tokens[0].kind != "NAME" or tokens[1].kind != "ASSIGN":
+        raise ParseError("expected 'name := expression' or an operand definition", line)
+    target = tokens[0].text
+    parser = _LineParser(tokens[2:], program.operands, line)
+    expr = parser.parse_expression()
+    if not parser.at_end():
+        raise ParseError("trailing input after expression", line)
+    program.assignments.append((target, expr))

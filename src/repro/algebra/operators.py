@@ -1,0 +1,251 @@
+"""Compound expression nodes: products, sums and unary operators.
+
+These correspond to the operators of the Linnea grammar reproduced in Fig. 1
+of the paper::
+
+    expr -> symbol | expr + expr | expr * expr | expr^-1 | expr^T | expr^-T
+
+``Times`` is n-ary and flattens nested products on construction, so a matrix
+chain ``A * B * C`` is represented as a single ``Times`` node with three
+children -- the canonical input form of the (generalized) matrix chain
+problem.  Construction performs conformability checking whenever operand
+shapes are known; patterns containing wildcards (unknown shapes) skip the
+check.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Tuple
+
+from .expression import Expression, ShapeError
+
+
+class _Compound(Expression):
+    """Shared plumbing for operator nodes."""
+
+    __slots__ = ("children",)
+
+    def __init__(self, children: Tuple[Expression, ...]) -> None:
+        object.__setattr__(self, "children", children)
+
+    def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError(f"{type(self).__name__} instances are immutable")
+
+    def _key(self) -> Tuple:
+        return self.children
+
+
+class Times(_Compound):
+    """An n-ary, non-commutative matrix product.
+
+    Nested ``Times`` children are flattened, so ``Times(Times(A, B), C)`` and
+    ``Times(A, Times(B, C))`` are the same object structurally -- the
+    parenthesization is *not* part of the expression; choosing one is exactly
+    the job of the matrix chain algorithms in :mod:`repro.core`.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, *operands: Expression) -> None:
+        if len(operands) < 2:
+            raise ValueError("Times requires at least two operands")
+        flat = []
+        for operand in operands:
+            if not isinstance(operand, Expression):
+                raise TypeError(f"operand {operand!r} is not an Expression")
+            if isinstance(operand, Times):
+                flat.extend(operand.children)
+            else:
+                flat.append(operand)
+        children = tuple(flat)
+        _check_product_conformability(children)
+        super().__init__(children)
+
+    @property
+    def rows(self) -> Optional[int]:
+        return self.children[0].rows
+
+    @property
+    def columns(self) -> Optional[int]:
+        return self.children[-1].columns
+
+    def __str__(self) -> str:
+        parts = []
+        for child in self.children:
+            text = str(child)
+            if isinstance(child, (Times, Plus)):
+                text = f"({text})"
+            parts.append(text)
+        return " * ".join(parts)
+
+
+class Plus(_Compound):
+    """An n-ary matrix sum.
+
+    The GMC algorithm itself only deals with products, but sums are part of
+    the Linnea input grammar (Fig. 1) and are supported by the expression
+    language, the property inference engine and the DSL parser.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, *operands: Expression) -> None:
+        if len(operands) < 2:
+            raise ValueError("Plus requires at least two operands")
+        flat = []
+        for operand in operands:
+            if not isinstance(operand, Expression):
+                raise TypeError(f"operand {operand!r} is not an Expression")
+            if isinstance(operand, Plus):
+                flat.extend(operand.children)
+            else:
+                flat.append(operand)
+        children = tuple(flat)
+        _check_sum_conformability(children)
+        super().__init__(children)
+
+    @property
+    def rows(self) -> Optional[int]:
+        for child in self.children:
+            if child.rows is not None:
+                return child.rows
+        return None
+
+    @property
+    def columns(self) -> Optional[int]:
+        for child in self.children:
+            if child.columns is not None:
+                return child.columns
+        return None
+
+    def __str__(self) -> str:
+        return " + ".join(str(child) for child in self.children)
+
+
+class _Unary(_Compound):
+    """Shared plumbing for the unary operators."""
+
+    __slots__ = ()
+
+    def __init__(self, operand: Expression) -> None:
+        if not isinstance(operand, Expression):
+            raise TypeError(f"operand {operand!r} is not an Expression")
+        super().__init__((operand,))
+
+    @property
+    def operand(self) -> Expression:
+        return self.children[0]
+
+
+class Transpose(_Unary):
+    """The transpose ``A^T`` of an expression."""
+
+    __slots__ = ()
+
+    @property
+    def rows(self) -> Optional[int]:
+        return self.operand.columns
+
+    @property
+    def columns(self) -> Optional[int]:
+        return self.operand.rows
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}^T"
+
+
+class Inverse(_Unary):
+    """The inverse ``A^-1`` of an expression.
+
+    Construction requires the operand to be square whenever its shape is
+    known; inverting a rectangular operand is a modelling error that should
+    surface as early as possible.
+    """
+
+    __slots__ = ()
+
+    def __init__(self, operand: Expression) -> None:
+        _check_invertible_shape(operand)
+        super().__init__(operand)
+
+    @property
+    def rows(self) -> Optional[int]:
+        return self.operand.rows
+
+    @property
+    def columns(self) -> Optional[int]:
+        return self.operand.columns
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}^-1"
+
+
+class InverseTranspose(_Unary):
+    """The inverse transpose ``A^-T`` of an expression."""
+
+    __slots__ = ()
+
+    def __init__(self, operand: Expression) -> None:
+        _check_invertible_shape(operand)
+        super().__init__(operand)
+
+    @property
+    def rows(self) -> Optional[int]:
+        return self.operand.columns
+
+    @property
+    def columns(self) -> Optional[int]:
+        return self.operand.rows
+
+    def __str__(self) -> str:
+        return f"{_wrap(self.operand)}^-T"
+
+
+UNARY_TYPES = (Transpose, Inverse, InverseTranspose)
+
+
+def _wrap(expr: Expression) -> str:
+    text = str(expr)
+    if isinstance(expr, (Times, Plus)):
+        return f"({text})"
+    return text
+
+
+def _check_invertible_shape(operand: Expression) -> None:
+    rows, columns = operand.rows, operand.columns
+    if rows is not None and columns is not None and rows != columns:
+        raise ShapeError(
+            f"cannot invert non-square expression {operand} of shape {rows}x{columns}"
+        )
+
+
+def _check_product_conformability(children: Iterable[Expression]) -> None:
+    previous: Optional[Expression] = None
+    for child in children:
+        if previous is not None:
+            left_cols = previous.columns
+            right_rows = child.rows
+            if left_cols is not None and right_rows is not None and left_cols != right_rows:
+                raise ShapeError(
+                    f"cannot multiply {previous} ({previous.rows}x{previous.columns}) "
+                    f"by {child} ({child.rows}x{child.columns}): inner dimensions differ"
+                )
+        previous = child
+
+
+def _check_sum_conformability(children: Iterable[Expression]) -> None:
+    rows: Optional[int] = None
+    columns: Optional[int] = None
+    for child in children:
+        if child.rows is not None:
+            if rows is None:
+                rows = child.rows
+            elif rows != child.rows:
+                raise ShapeError(f"cannot add operands with {rows} and {child.rows} rows")
+        if child.columns is not None:
+            if columns is None:
+                columns = child.columns
+            elif columns != child.columns:
+                raise ShapeError(
+                    f"cannot add operands with {columns} and {child.columns} columns"
+                )

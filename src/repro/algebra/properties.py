@@ -1,0 +1,234 @@
+"""Matrix properties and the implication lattice between them.
+
+The GMC algorithm (Barthels et al., CGO 2018, Section 3.2) relies on knowing
+structural properties of operands -- lower/upper triangular, diagonal,
+symmetric, symmetric positive definite, and so on -- both to select
+specialized kernels (TRMM instead of GEMM, POSV instead of GESV, ...) and to
+propagate that knowledge onto intermediate results.
+
+This module defines:
+
+* :class:`Property` -- the enumeration of supported matrix properties.
+* :data:`IMPLICATIONS` -- the implication lattice between properties
+  (for example ``DIAGONAL`` implies both ``LOWER_TRIANGULAR`` and
+  ``UPPER_TRIANGULAR``; ``SPD`` implies ``SYMMETRIC`` and ``NON_SINGULAR``).
+* :func:`closure` -- transitive closure of a set of properties under the
+  implication lattice.
+* :data:`CONTRADICTIONS` and :func:`check_consistency` -- pairs of properties
+  that cannot hold simultaneously on the same operand, used to validate user
+  annotations early.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import FrozenSet, Iterable, Mapping, Set, Tuple
+
+
+class Property(enum.Enum):
+    """Structural properties a matrix operand may carry.
+
+    The values mirror the properties used throughout the paper (Fig. 2 lists
+    ``LowerTriangular`` and ``Diagonal`` as examples; Section 4 draws operand
+    properties from diagonal, lower triangular, upper triangular, symmetric
+    and SPD).  A few additional bookkeeping properties (``SQUARE``,
+    ``VECTOR``, ``SCALAR``, ``NON_SINGULAR``, ...) are included because the
+    property-inference engine and the kernel constraints need them.
+    """
+
+    #: Zero above the main diagonal.
+    LOWER_TRIANGULAR = "lower_triangular"
+    #: Zero below the main diagonal.
+    UPPER_TRIANGULAR = "upper_triangular"
+    #: Zero outside of the main diagonal.
+    DIAGONAL = "diagonal"
+    #: Equal to its own transpose.
+    SYMMETRIC = "symmetric"
+    #: Symmetric positive definite.
+    SPD = "spd"
+    #: Symmetric positive semi-definite.
+    SPSD = "spsd"
+    #: The identity matrix.
+    IDENTITY = "identity"
+    #: The zero matrix.
+    ZERO = "zero"
+    #: Orthogonal: Q^T Q = I.
+    ORTHOGONAL = "orthogonal"
+    #: Diagonal entries are all one (used with triangular factors).
+    UNIT_DIAGONAL = "unit_diagonal"
+    #: Guaranteed to be invertible.
+    NON_SINGULAR = "non_singular"
+    #: Has full rank (for rectangular operands).
+    FULL_RANK = "full_rank"
+    #: Number of rows equals number of columns.
+    SQUARE = "square"
+    #: One of the dimensions is 1 (a row or column vector).
+    VECTOR = "vector"
+    #: Both dimensions are 1.
+    SCALAR = "scalar"
+    #: Permutation matrix.
+    PERMUTATION = "permutation"
+    #: Banded matrix (bandwidth not tracked symbolically).
+    BANDED = "banded"
+    #: Tridiagonal matrix.
+    TRIDIAGONAL = "tridiagonal"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Property.{self.name}"
+
+
+#: Direct (one-step) implications between properties.  ``closure`` computes
+#: the transitive closure, so only direct edges need to be listed here.
+IMPLICATIONS: Mapping[Property, FrozenSet[Property]] = {
+    Property.DIAGONAL: frozenset(
+        {
+            Property.LOWER_TRIANGULAR,
+            Property.UPPER_TRIANGULAR,
+            Property.SYMMETRIC,
+            Property.BANDED,
+            Property.TRIDIAGONAL,
+            Property.SQUARE,
+        }
+    ),
+    Property.IDENTITY: frozenset(
+        {
+            Property.DIAGONAL,
+            Property.UNIT_DIAGONAL,
+            Property.SPD,
+            Property.ORTHOGONAL,
+            Property.PERMUTATION,
+            Property.NON_SINGULAR,
+        }
+    ),
+    Property.SPD: frozenset(
+        {
+            Property.SYMMETRIC,
+            Property.SPSD,
+            Property.NON_SINGULAR,
+            Property.FULL_RANK,
+            Property.SQUARE,
+        }
+    ),
+    Property.SPSD: frozenset({Property.SYMMETRIC, Property.SQUARE}),
+    Property.SYMMETRIC: frozenset({Property.SQUARE}),
+    Property.ORTHOGONAL: frozenset(
+        {Property.NON_SINGULAR, Property.FULL_RANK, Property.SQUARE}
+    ),
+    Property.PERMUTATION: frozenset({Property.ORTHOGONAL, Property.NON_SINGULAR}),
+    Property.LOWER_TRIANGULAR: frozenset({Property.SQUARE}),
+    Property.UPPER_TRIANGULAR: frozenset({Property.SQUARE}),
+    Property.TRIDIAGONAL: frozenset({Property.BANDED, Property.SQUARE}),
+    Property.NON_SINGULAR: frozenset({Property.FULL_RANK, Property.SQUARE}),
+    Property.SCALAR: frozenset(
+        {
+            Property.VECTOR,
+            Property.SQUARE,
+            Property.DIAGONAL,
+            Property.SYMMETRIC,
+        }
+    ),
+}
+
+
+#: Pairs of properties that cannot both hold on the same non-degenerate
+#: operand.  (A zero matrix is singular; an identity matrix is not zero; ...)
+CONTRADICTIONS: FrozenSet[Tuple[Property, Property]] = frozenset(
+    {
+        (Property.ZERO, Property.NON_SINGULAR),
+        (Property.ZERO, Property.SPD),
+        (Property.ZERO, Property.IDENTITY),
+        (Property.ZERO, Property.UNIT_DIAGONAL),
+        (Property.ZERO, Property.ORTHOGONAL),
+        (Property.ZERO, Property.PERMUTATION),
+        (Property.ZERO, Property.FULL_RANK),
+    }
+)
+
+
+class PropertyError(ValueError):
+    """Raised when an operand is annotated with inconsistent properties."""
+
+
+def closure(properties: Iterable[Property]) -> FrozenSet[Property]:
+    """Return the transitive closure of *properties* under ``IMPLICATIONS``.
+
+    >>> sorted(p.name for p in closure({Property.SPD}))[:2]
+    ['FULL_RANK', 'NON_SINGULAR']
+    """
+    result: Set[Property] = set(properties)
+    frontier = list(result)
+    while frontier:
+        prop = frontier.pop()
+        for implied in IMPLICATIONS.get(prop, frozenset()):
+            if implied not in result:
+                result.add(implied)
+                frontier.append(implied)
+    return frozenset(result)
+
+
+def implies(premise: Property, conclusion: Property) -> bool:
+    """Return ``True`` when *premise* implies *conclusion* in the lattice."""
+    return conclusion in closure({premise})
+
+
+def check_consistency(properties: Iterable[Property]) -> FrozenSet[Property]:
+    """Validate and close a property set.
+
+    Returns the closure of *properties* or raises :class:`PropertyError`
+    when the closed set contains a contradictory pair.
+    """
+    closed = closure(properties)
+    for first, second in CONTRADICTIONS:
+        if first in closed and second in closed:
+            raise PropertyError(
+                f"properties {first.name} and {second.name} are contradictory"
+            )
+    # Triangular + symmetric collapses to diagonal: record that knowledge.
+    if (
+        Property.SYMMETRIC in closed
+        and (Property.LOWER_TRIANGULAR in closed or Property.UPPER_TRIANGULAR in closed)
+        and Property.DIAGONAL not in closed
+    ):
+        closed = closure(closed | {Property.DIAGONAL})
+    return closed
+
+
+def parse_property(name: str) -> Property:
+    """Parse a property from its textual spelling.
+
+    Accepts both the enumeration value (``"lower_triangular"``) and the
+    CamelCase spelling used by the paper's grammar (``"LowerTriangular"``).
+    """
+    normalized = name.strip()
+    if not normalized:
+        raise PropertyError("empty property name")
+    try:
+        return Property(normalized.lower())
+    except ValueError:
+        pass
+    # CamelCase -> snake_case.
+    snake = []
+    for index, char in enumerate(normalized):
+        if char.isupper() and index > 0 and not normalized[index - 1].isupper():
+            snake.append("_")
+        snake.append(char.lower())
+    candidate = "".join(snake)
+    aliases = {
+        "lowertriangular": "lower_triangular",
+        "uppertriangular": "upper_triangular",
+        "symmetric_positive_definite": "spd",
+        "symmetricpositivedefinite": "spd",
+        "positive_definite": "spd",
+        "unitdiagonal": "unit_diagonal",
+        "nonsingular": "non_singular",
+        "fullrank": "full_rank",
+        "general": "",
+    }
+    candidate = aliases.get(candidate, candidate)
+    candidate = aliases.get(candidate.replace("_", ""), candidate)
+    if candidate == "":
+        raise PropertyError(f"'{name}' does not name a specific property")
+    try:
+        return Property(candidate)
+    except ValueError as exc:
+        raise PropertyError(f"unknown property name: {name!r}") from exc

@@ -1,0 +1,46 @@
+"""Baseline evaluation strategies: simulators of the compared libraries.
+
+The paper's evaluation (Section 4) compares GMC-generated code against
+Julia, Matlab, Eigen, Armadillo and Blaze, each in a naive and (where the
+library supports linear-system solves) a recommended variant.  Those
+libraries are not available offline; each is modeled here as a deterministic
+:class:`EvaluationStrategy` that maps a chain to a kernel program the way
+that library evaluates expressions (see DESIGN.md, substitution 2).
+"""
+
+from . import parenthesizers
+from .registry import (
+    ARMADILLO_NAIVE,
+    ARMADILLO_RECOMMENDED,
+    BASELINE_STRATEGIES,
+    BLAZE_NAIVE,
+    EIGEN_NAIVE,
+    EIGEN_RECOMMENDED,
+    JULIA_NAIVE,
+    JULIA_RECOMMENDED,
+    MATLAB_NAIVE,
+    MATLAB_RECOMMENDED,
+    baseline_strategies,
+    build_gmc_program,
+    strategy_by_name,
+)
+from .strategy import EvaluationStrategy, StrategyError
+
+__all__ = [
+    "EvaluationStrategy",
+    "StrategyError",
+    "parenthesizers",
+    "baseline_strategies",
+    "strategy_by_name",
+    "build_gmc_program",
+    "BASELINE_STRATEGIES",
+    "JULIA_NAIVE",
+    "JULIA_RECOMMENDED",
+    "ARMADILLO_NAIVE",
+    "ARMADILLO_RECOMMENDED",
+    "EIGEN_NAIVE",
+    "EIGEN_RECOMMENDED",
+    "BLAZE_NAIVE",
+    "MATLAB_NAIVE",
+    "MATLAB_RECOMMENDED",
+]

@@ -1,0 +1,174 @@
+"""Parenthesization policies used by the baseline library simulators.
+
+Each policy maps the shapes of the chain factors to a binary evaluation tree
+(nested tuples of factor indices).  The policies mirror how the libraries of
+the paper's evaluation (Section 4) actually order their products:
+
+* :func:`left_to_right` -- Matlab, Julia, Eigen, Blaze: expressions are
+  evaluated strictly left to right.
+* :func:`right_to_left` -- the mirror policy, used in tests and ablations.
+* :func:`vector_aware` -- Blaze's special case: products of the form
+  ``A * B * v`` with a vector ``v`` are evaluated as ``A * (B * v)``.
+* :func:`armadillo` -- the heuristic described in Section 4: chains of
+  length 3 and 4 are split by comparing the sizes of candidate
+  sub-products, longer chains are broken into groups of at most four
+  factors; the parenthesization ``(AB)(CD)`` can never be produced.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: A parenthesization tree: either an ``int`` (factor index) or a pair of trees.
+Tree = object
+
+
+def _shapes_product(shapes: Sequence[Tuple[int, int]], i: int, j: int) -> Tuple[int, int]:
+    """Shape of the product of factors ``i..j`` (inclusive)."""
+    return shapes[i][0], shapes[j][1]
+
+
+def _elements(shape: Tuple[int, int]) -> int:
+    return shape[0] * shape[1]
+
+
+def left_to_right(shapes: Sequence[Tuple[int, int]]) -> Tree:
+    """((((f0 f1) f2) f3) ...): the default of Matlab, Julia, Eigen, Blaze."""
+    tree: Tree = 0
+    for index in range(1, len(shapes)):
+        tree = (tree, index)
+    return tree
+
+
+def right_to_left(shapes: Sequence[Tuple[int, int]]) -> Tree:
+    """(f0 (f1 (f2 ...))): the mirror policy."""
+    n = len(shapes)
+    tree: Tree = n - 1
+    for index in range(n - 2, -1, -1):
+        tree = (index, tree)
+    return tree
+
+
+def vector_aware(shapes: Sequence[Tuple[int, int]]) -> Tree:
+    """Blaze's policy: right-to-left over the prefix ending in a column vector.
+
+    When some factor ``p`` is a column vector, the prefix ``f0 .. fp`` is
+    evaluated right to left (every step is a matrix-vector product) and the
+    remaining factors -- e.g. the transposed vector of an outer product tail
+    ``v1 v2^T`` -- are folded in left to right afterwards.  Without a column
+    vector the policy degenerates to plain left-to-right evaluation.
+    """
+    n = len(shapes)
+    vector_positions = [
+        index for index, (rows, columns) in enumerate(shapes) if columns == 1 and rows > 1
+    ]
+    if not vector_positions:
+        return left_to_right(shapes)
+    pivot = vector_positions[-1]
+    tree: Tree = pivot
+    for index in range(pivot - 1, -1, -1):
+        tree = (index, tree)
+    for index in range(pivot + 1, n):
+        tree = (tree, index)
+    return tree
+
+
+def _armadillo_three(shapes: Sequence[Tuple[int, int]], i: int, j: int, k: int) -> Tree:
+    """Armadillo's rule for a chain of three: compare |AB| and |BC|."""
+    ab = _elements((shapes[i][0], shapes[j][1]))
+    bc = _elements((shapes[j][0], shapes[k][1]))
+    if ab <= bc:
+        return ((i, j), k)
+    return (i, (j, k))
+
+
+def _armadillo_group(shapes: Sequence[Tuple[int, int]], indices: Sequence[int]) -> Tree:
+    """Armadillo's rule for a group of at most four factors."""
+    if len(indices) == 1:
+        return indices[0]
+    if len(indices) == 2:
+        return (indices[0], indices[1])
+    if len(indices) == 3:
+        return _armadillo_three(shapes, *indices)
+    a, b, c, d = indices
+    abc = _elements((shapes[a][0], shapes[c][1]))
+    bcd = _elements((shapes[b][0], shapes[d][1]))
+    if abc <= bcd:
+        return (_armadillo_three(shapes, a, b, c), d)
+    return (a, _armadillo_three(shapes, b, c, d))
+
+
+def armadillo(shapes: Sequence[Tuple[int, int]]) -> Tree:
+    """The Armadillo heuristic of Section 4.
+
+    Chains with more than four factors are broken down deterministically
+    (following how expression templates accumulate from the left): the first
+    four factors form a group solved with the 3/4-factor rules, the group's
+    result then acts as the first factor of the next group, and so on.  Note
+    that ``(AB)(CD)`` can never be produced.
+    """
+    n = len(shapes)
+    if n <= 4:
+        return _armadillo_group(shapes, list(range(n)))
+    # First group: factors 0..3.
+    group_shapes: List[Tuple[int, int]] = list(shapes[:4])
+    tree = _armadillo_group(shapes, [0, 1, 2, 3])
+    current_shape = (shapes[0][0], shapes[3][1])
+    index = 4
+    while index < n:
+        remaining = min(3, n - index)
+        group_indices = list(range(index, index + remaining))
+        # The accumulated result plays the role of the first factor.
+        virtual_shapes = {0: current_shape}
+        for offset, original in enumerate(group_indices, start=1):
+            virtual_shapes[offset] = shapes[original]
+
+        def shape_of(position: int) -> Tuple[int, int]:
+            return virtual_shapes[position]
+
+        local_shapes = [shape_of(position) for position in range(remaining + 1)]
+        local_tree = _armadillo_group(local_shapes, list(range(remaining + 1)))
+        tree = _substitute(local_tree, [tree] + group_indices)
+        current_shape = (current_shape[0], shapes[group_indices[-1]][1])
+        index += remaining
+    return tree
+
+
+def _substitute(tree: Tree, mapping: Sequence[Tree]) -> Tree:
+    """Replace the integer leaves of a local tree with the global sub-trees."""
+    if isinstance(tree, int):
+        return mapping[tree]
+    left, right = tree
+    return (_substitute(left, mapping), _substitute(right, mapping))
+
+
+def tree_products(tree: Tree) -> List[Tuple[Tree, Tree]]:
+    """The binary products of a tree in dependency (bottom-up) order."""
+    products: List[Tuple[Tree, Tree]] = []
+
+    def visit(node: Tree) -> None:
+        if isinstance(node, int):
+            return
+        left, right = node
+        visit(left)
+        visit(right)
+        products.append((left, right))
+
+    visit(tree)
+    return products
+
+
+def tree_to_string(tree: Tree, labels: Sequence[str]) -> str:
+    """Render a tree with factor labels, e.g. ``((A * B) * C)``."""
+    if isinstance(tree, int):
+        return labels[tree]
+    left, right = tree
+    return f"({tree_to_string(left, labels)} * {tree_to_string(right, labels)})"
+
+
+PARENTHESIZERS = {
+    "left_to_right": left_to_right,
+    "right_to_left": right_to_left,
+    "vector_aware": vector_aware,
+    "armadillo": armadillo,
+}

@@ -1,0 +1,177 @@
+"""The baseline strategies of the paper's evaluation (Section 4).
+
+Nine library implementations are compared against the GMC-generated code:
+Julia, Armadillo, Eigen and Matlab in a *naive* and a *recommended* variant
+each, plus Blaze (naive only, as it offers no linear-system solver).  The
+configurations below encode, per library, how it parenthesizes, how it
+handles the inverse operator and which structural properties its type system
+exposes -- following the descriptions in Section 4 and Table 2 of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..algebra.expression import Expression
+from ..algebra.properties import Property
+from ..core.gmc import GMCAlgorithm
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog
+from ..kernels.kernel import Program
+from .strategy import EvaluationStrategy
+
+_TRIANGULAR = frozenset({Property.LOWER_TRIANGULAR, Property.UPPER_TRIANGULAR})
+_DIAG = frozenset({Property.DIAGONAL})
+_SYM = frozenset({Property.SYMMETRIC})
+_SPD = frozenset({Property.SPD})
+
+#: Properties representable by Julia's type system (Triangular, Symmetric,
+#: Diagonal wrappers); SPD is only exploited when solving (cholesky).
+_JULIA_TYPES = _TRIANGULAR | _DIAG | _SYM
+#: Properties representable by Blaze adaptors.
+_BLAZE_ADAPTORS = _TRIANGULAR | _DIAG | _SYM
+#: Properties representable by Armadillo (trimatu/trimatl, diagmat, sympd).
+_ARMA_TYPES = _TRIANGULAR | _DIAG
+#: Properties Eigen exposes through views / dedicated solvers.
+_EIGEN_VIEWS = _TRIANGULAR
+
+
+JULIA_NAIVE = EvaluationStrategy(
+    name="julia_naive",
+    label="Jl n",
+    library="Julia",
+    parenthesization="left_to_right",
+    explicit_inversion=True,
+    product_properties=_JULIA_TYPES,
+    solve_properties=frozenset(),
+    description="Julia, inv(A)*B*C', products left to right, typed operands",
+)
+
+JULIA_RECOMMENDED = EvaluationStrategy(
+    name="julia_recommended",
+    label="Jl r",
+    library="Julia",
+    parenthesization="left_to_right",
+    explicit_inversion=False,
+    product_properties=_JULIA_TYPES,
+    solve_properties=_JULIA_TYPES | _SPD,
+    description="Julia, (A\\B)*C', backslash dispatches on operand types",
+)
+
+MATLAB_NAIVE = EvaluationStrategy(
+    name="matlab_naive",
+    label="Mat n",
+    library="Matlab",
+    parenthesization="left_to_right",
+    explicit_inversion=True,
+    product_properties=frozenset(),
+    solve_properties=frozenset(),
+    description="Matlab, inv(A)*B*C', products left to right, no structure use",
+)
+
+MATLAB_RECOMMENDED = EvaluationStrategy(
+    name="matlab_recommended",
+    label="Mat r",
+    library="Matlab",
+    parenthesization="left_to_right",
+    explicit_inversion=False,
+    product_properties=frozenset(),
+    solve_properties=_TRIANGULAR | _DIAG | _SYM | _SPD,
+    description="Matlab, (A\\B)*C', mldivide inspects entries to pick a solver",
+)
+
+EIGEN_NAIVE = EvaluationStrategy(
+    name="eigen_naive",
+    label="Eig n",
+    library="Eigen",
+    parenthesization="left_to_right",
+    explicit_inversion=True,
+    product_properties=frozenset(),
+    solve_properties=frozenset(),
+    description="Eigen, A.inverse()*B*C.transpose(), no views",
+)
+
+EIGEN_RECOMMENDED = EvaluationStrategy(
+    name="eigen_recommended",
+    label="Eig r",
+    library="Eigen",
+    parenthesization="left_to_right",
+    explicit_inversion=False,
+    product_properties=_EIGEN_VIEWS,
+    solve_properties=_EIGEN_VIEWS | _SPD,
+    description="Eigen, A.llt().solve(B)*C.transpose(), structure-aware solvers",
+)
+
+ARMADILLO_NAIVE = EvaluationStrategy(
+    name="armadillo_naive",
+    label="Arma n",
+    library="Armadillo",
+    parenthesization="armadillo",
+    explicit_inversion=True,
+    product_properties=_ARMA_TYPES,
+    solve_properties=_SPD | _DIAG,
+    description="Armadillo, inv_sympd/inv, chain heuristic, trimat operands",
+)
+
+ARMADILLO_RECOMMENDED = EvaluationStrategy(
+    name="armadillo_recommended",
+    label="Arma r",
+    library="Armadillo",
+    parenthesization="armadillo",
+    explicit_inversion=False,
+    product_properties=_ARMA_TYPES,
+    solve_properties=_TRIANGULAR | _DIAG,
+    description="Armadillo, solve(A, B) with solve_opts::fast, chain heuristic",
+)
+
+BLAZE_NAIVE = EvaluationStrategy(
+    name="blaze_naive",
+    label="Bl n",
+    library="Blaze",
+    parenthesization="vector_aware",
+    explicit_inversion=True,
+    product_properties=_BLAZE_ADAPTORS,
+    solve_properties=frozenset(),
+    description="Blaze, blaze::inv(A)*B*trans(C), adaptors, A*(B*v) for vectors",
+)
+
+#: The nine baselines, in the order of the paper's Fig. 8.
+BASELINE_STRATEGIES: Sequence[EvaluationStrategy] = (
+    JULIA_NAIVE,
+    JULIA_RECOMMENDED,
+    ARMADILLO_NAIVE,
+    ARMADILLO_RECOMMENDED,
+    EIGEN_NAIVE,
+    EIGEN_RECOMMENDED,
+    BLAZE_NAIVE,
+    MATLAB_NAIVE,
+    MATLAB_RECOMMENDED,
+)
+
+_BY_NAME: Dict[str, EvaluationStrategy] = {s.name: s for s in BASELINE_STRATEGIES}
+_BY_LABEL: Dict[str, EvaluationStrategy] = {s.label: s for s in BASELINE_STRATEGIES}
+
+
+def baseline_strategies() -> List[EvaluationStrategy]:
+    """The nine baseline strategies of the paper, in Fig. 8 order."""
+    return list(BASELINE_STRATEGIES)
+
+
+def strategy_by_name(name: str) -> EvaluationStrategy:
+    """Look a baseline up by name (``"julia_naive"``) or label (``"Jl n"``)."""
+    if name in _BY_NAME:
+        return _BY_NAME[name]
+    if name in _BY_LABEL:
+        return _BY_LABEL[name]
+    raise KeyError(f"unknown strategy {name!r}")
+
+
+def build_gmc_program(
+    chain: Expression,
+    catalog: Optional[KernelCatalog] = None,
+    metric: Optional[CostMetric] = None,
+) -> Program:
+    """Build the GMC program for a chain with the same call signature as the
+    baselines, so the experiment harness can treat all strategies uniformly."""
+    algorithm = GMCAlgorithm(catalog=catalog, metric=metric)
+    return algorithm.generate(chain, strategy_name="GMC")

@@ -1,0 +1,17 @@
+"""Code generation back-ends (Section 3.5 of the paper).
+
+Programs produced by the GMC algorithm (or by a baseline strategy) can be
+rendered either as Julia-flavoured BLAS/LAPACK call sequences -- the output
+format of the paper's reference implementation, cf. Table 2 -- or as
+executable Python/NumPy source.
+"""
+
+from .julia import generate_julia, julia_call_sequence
+from .python_numpy import generate_numpy, numpy_statement_sequence
+
+__all__ = [
+    "generate_julia",
+    "julia_call_sequence",
+    "generate_numpy",
+    "numpy_statement_sequence",
+]

@@ -1,0 +1,52 @@
+"""Julia-flavoured code generation.
+
+The paper's reference implementation emits Julia code that calls BLAS and
+LAPACK wrappers (Section 4, Table 2).  This generator renders a
+:class:`~repro.kernels.kernel.Program` in the same spirit: one in-place
+BLAS/LAPACK-style call per kernel, wrapped in a function over the input
+operands.  The exact Julia syntax of operand set-up is not reproduced (this
+repository executes programs with the NumPy runtime instead); the generated
+text is meant to be read, compared against Table 2, and embedded in reports.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..algebra.expression import Expression, Matrix
+from ..kernels.kernel import KernelCall, Program
+
+
+def _input_operands(program: Program) -> List[Matrix]:
+    """The distinct leaf operands consumed by the program, in first-use order."""
+    seen = {}
+    produced = {call.output.name for call in program.calls}
+    for call in program.calls:
+        for expr in call.substitution.values():
+            for leaf in expr.leaves():
+                if isinstance(leaf, Matrix) and leaf.name not in produced:
+                    seen.setdefault(leaf.name, leaf)
+    return list(seen.values())
+
+
+def generate_julia(program: Program, function_name: str = "compute") -> str:
+    """Render a program as a Julia-like function."""
+    operands = _input_operands(program)
+    arguments = ", ".join(operand.name for operand in operands)
+    lines: List[str] = []
+    lines.append(f"function {function_name}({arguments})")
+    if program.expression is not None:
+        lines.append(f"    # computes {program.expression}")
+    for call in program.calls:
+        statement = call.julia()
+        comment = f"  # {call.output.name} := {call.expression}" if call.expression else ""
+        lines.append(f"    {statement}{comment}")
+    if program.output is not None:
+        lines.append(f"    return {program.output.name}")
+    lines.append("end")
+    return "\n".join(lines)
+
+
+def julia_call_sequence(program: Program) -> List[str]:
+    """Just the kernel call strings, one per program step (Table 2 style)."""
+    return [call.julia() for call in program.calls]

@@ -1,0 +1,51 @@
+"""NumPy code generation.
+
+Renders a :class:`~repro.kernels.kernel.Program` as executable Python source
+built on NumPy/SciPy.  The generated function takes the input operands as
+keyword arguments and returns the chain result; the helper routines it calls
+(``solve_triangular``, ``cholesky_solve``, ...) live in
+:mod:`repro.runtime.kernels_numpy`, so generated code and the interpreter
+share a single kernel implementation.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..algebra.expression import Matrix
+from ..kernels.kernel import Program
+from .julia import _input_operands
+
+_PREAMBLE = (
+    "import numpy as np\n"
+    "from repro.runtime.kernels_numpy import (\n"
+    "    cholesky_solve, diagonal_solve, invert, invert_diagonal, invert_spd,\n"
+    "    invert_triangular, lu_solve, solve_triangular, symmetric_solve,\n"
+    ")\n"
+)
+
+
+def generate_numpy(program: Program, function_name: str = "compute") -> str:
+    """Render a program as a Python function using NumPy/SciPy kernels."""
+    operands = _input_operands(program)
+    arguments = ", ".join(operand.name for operand in operands)
+    lines: List[str] = [_PREAMBLE, ""]
+    lines.append(f"def {function_name}({arguments}):")
+    if program.expression is not None:
+        lines.append(f'    """Computes {program.expression}."""')
+    if not program.calls:
+        output = program.output.name if program.output is not None else arguments
+        lines.append(f"    return {output}")
+        return "\n".join(lines)
+    for call in program.calls:
+        statement = call.numpy()
+        comment = f"  # {call.output.name} := {call.expression}" if call.expression else ""
+        lines.append(f"    {statement}{comment}")
+    if program.output is not None:
+        lines.append(f"    return {program.output.name}")
+    return "\n".join(lines)
+
+
+def numpy_statement_sequence(program: Program) -> List[str]:
+    """Just the NumPy statements, one per program step."""
+    return [call.numpy() for call in program.calls]

@@ -1,0 +1,72 @@
+"""Chain algorithms: the classic matrix chain DP and the GMC algorithm.
+
+* :mod:`repro.core.mcp` -- the standard matrix chain problem (Section 2):
+  bottom-up DP, memoized DP, brute-force oracle, heuristics.
+* :mod:`repro.core.gmc` -- the Generalized Matrix Chain algorithm
+  (Section 3): the paper's contribution.
+
+Convenience functions
+---------------------
+
+:func:`solve_chain` and :func:`generate_program` wrap the most common use:
+hand in an expression (or DSL text plus operand definitions), get back the
+solved chain or the generated kernel program.
+"""
+
+from typing import Optional, Union
+
+from ..algebra.expression import Expression
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog
+from ..kernels.kernel import Program
+from .gmc import GMCAlgorithm, GMCSolution, UncomputableChainError
+from .topdown import TopDownGMC, TopDownSolution
+from .mcp import (
+    MatrixChainDP,
+    brute_force_optimal_cost,
+    catalan_number,
+    chin_heuristic,
+    left_to_right_cost,
+    matrix_chain_order,
+    memoized_matrix_chain,
+    parenthesization_cost,
+    right_to_left_cost,
+)
+
+
+def solve_chain(
+    chain: Expression,
+    metric: Union[CostMetric, str, None] = None,
+    catalog: Optional[KernelCatalog] = None,
+) -> GMCSolution:
+    """Solve a generalized matrix chain and return the full solution object."""
+    return GMCAlgorithm(catalog=catalog, metric=metric).solve(chain)
+
+
+def generate_program(
+    chain: Expression,
+    metric: Union[CostMetric, str, None] = None,
+    catalog: Optional[KernelCatalog] = None,
+) -> Program:
+    """Solve a generalized matrix chain and return the optimal kernel program."""
+    return GMCAlgorithm(catalog=catalog, metric=metric).generate(chain)
+
+
+__all__ = [
+    "GMCAlgorithm",
+    "GMCSolution",
+    "TopDownGMC",
+    "TopDownSolution",
+    "UncomputableChainError",
+    "MatrixChainDP",
+    "matrix_chain_order",
+    "memoized_matrix_chain",
+    "brute_force_optimal_cost",
+    "parenthesization_cost",
+    "catalan_number",
+    "chin_heuristic",
+    "left_to_right_cost",
+    "right_to_left_cost",
+    "solve_chain",
+    "generate_program",
+]

@@ -1,0 +1,295 @@
+"""The standard matrix chain problem (MCP) and its classic algorithms.
+
+Section 2 of the paper summarizes the textbook bottom-up dynamic programming
+algorithm (Cormen et al.) that the GMC algorithm generalizes; this module
+implements it together with several related algorithms that the paper's
+related-work section mentions, so that they can be compared and used as
+baselines and test oracles:
+
+* :func:`matrix_chain_order` / :class:`MatrixChainDP` -- the O(n^3) bottom-up
+  DP of Fig. 3.
+* :func:`memoized_matrix_chain` -- the equivalent top-down memoized variant.
+* :func:`brute_force_optimal_cost` -- exhaustive enumeration over all
+  parenthesizations (Catalan-number many); the test oracle.
+* :func:`chin_heuristic` -- Chin's O(n) near-optimal heuristic [Chin 1978],
+  representative of the approximation algorithms cited in Section 1.2.
+* :func:`left_to_right_cost` / :func:`right_to_left_cost` -- the evaluation
+  orders used by Matlab/Julia-style libraries (Section 4).
+
+All functions operate on the ``sizes`` array of the paper: for a chain of
+``n`` matrices, ``sizes`` has ``n + 1`` entries and matrix ``i`` has shape
+``sizes[i] x sizes[i+1]``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+def _validate_sizes(sizes: Sequence[int]) -> Tuple[int, ...]:
+    if len(sizes) < 2:
+        raise ValueError("a matrix chain needs at least one matrix (two sizes)")
+    cleaned = tuple(int(s) for s in sizes)
+    if any(s <= 0 for s in cleaned):
+        raise ValueError(f"matrix dimensions must be positive, got {cleaned}")
+    return cleaned
+
+
+def product_flops(m: int, k: int, n: int) -> float:
+    """FLOPs of a general ``(m x k) (k x n)`` product (paper footnote 2)."""
+    return 2.0 * m * k * n
+
+
+def matrix_chain_order(sizes: Sequence[int]) -> Tuple[List[List[float]], List[List[int]]]:
+    """The bottom-up dynamic programming algorithm of Fig. 3.
+
+    Returns the pair ``(costs, solution)`` where ``costs[i][j]`` is the
+    minimal FLOP count for the sub-chain ``M[i..j]`` and ``solution[i][j]``
+    is the optimal split point ``k``.
+    """
+    sizes = _validate_sizes(sizes)
+    n = len(sizes) - 1
+    costs = [[0.0 if i == j else math.inf for j in range(n)] for i in range(n)]
+    solution = [[-1 for _ in range(n)] for _ in range(n)]
+    for length in range(1, n):
+        for i in range(0, n - length):
+            j = i + length
+            for k in range(i, j):
+                split_cost = product_flops(sizes[i], sizes[k + 1], sizes[j + 1])
+                cost = costs[i][k] + costs[k + 1][j] + split_cost
+                if cost < costs[i][j]:
+                    costs[i][j] = cost
+                    solution[i][j] = k
+    return costs, solution
+
+
+def memoized_matrix_chain(sizes: Sequence[int]) -> float:
+    """Top-down memoized variant; returns the optimal FLOP count."""
+    sizes = _validate_sizes(sizes)
+    n = len(sizes) - 1
+    memo: Dict[Tuple[int, int], float] = {}
+
+    def lookup(i: int, j: int) -> float:
+        if i == j:
+            return 0.0
+        key = (i, j)
+        if key in memo:
+            return memo[key]
+        best = math.inf
+        for k in range(i, j):
+            cost = (
+                lookup(i, k)
+                + lookup(k + 1, j)
+                + product_flops(sizes[i], sizes[k + 1], sizes[j + 1])
+            )
+            best = min(best, cost)
+        memo[key] = best
+        return best
+
+    return lookup(0, n - 1)
+
+
+# ---------------------------------------------------------------------------
+# Exhaustive enumeration (test oracle)
+# ---------------------------------------------------------------------------
+
+def catalan_number(n: int) -> int:
+    """The number of distinct parenthesizations of a chain of ``n + 1`` factors."""
+    return math.comb(2 * n, n) // (n + 1)
+
+
+def enumerate_parenthesizations(i: int, j: int) -> Iterator[object]:
+    """Yield every parenthesization of ``M[i..j]`` as a nested tuple tree.
+
+    A leaf is the integer index of the matrix; an inner node is a pair
+    ``(left_tree, right_tree)``.
+    """
+    if i == j:
+        yield i
+        return
+    for k in range(i, j):
+        for left in enumerate_parenthesizations(i, k):
+            for right in enumerate_parenthesizations(k + 1, j):
+                yield (left, right)
+
+
+def _tree_cost(tree: object, sizes: Sequence[int]) -> Tuple[float, int, int]:
+    if isinstance(tree, int):
+        return 0.0, sizes[tree], sizes[tree + 1]
+    left, right = tree
+    left_cost, left_rows, left_cols = _tree_cost(left, sizes)
+    right_cost, right_rows, right_cols = _tree_cost(right, sizes)
+    if left_cols != right_rows:
+        raise ValueError("non-conforming parenthesization tree")
+    cost = left_cost + right_cost + product_flops(left_rows, left_cols, right_cols)
+    return cost, left_rows, right_cols
+
+
+def parenthesization_cost(tree: object, sizes: Sequence[int]) -> float:
+    """FLOP count of evaluating the chain according to a specific tree."""
+    return _tree_cost(tree, _validate_sizes(sizes))[0]
+
+
+def brute_force_optimal_cost(sizes: Sequence[int]) -> float:
+    """Optimal FLOP count by exhaustive enumeration (exponential; for tests)."""
+    sizes = _validate_sizes(sizes)
+    n = len(sizes) - 1
+    best = math.inf
+    for tree in enumerate_parenthesizations(0, n - 1):
+        best = min(best, parenthesization_cost(tree, sizes))
+    return best if n > 1 else 0.0
+
+
+# ---------------------------------------------------------------------------
+# Simple evaluation orders and heuristics
+# ---------------------------------------------------------------------------
+
+def left_to_right_cost(sizes: Sequence[int]) -> float:
+    """Cost of the strictly left-to-right evaluation used by Matlab/Julia."""
+    sizes = _validate_sizes(sizes)
+    n = len(sizes) - 1
+    cost = 0.0
+    rows = sizes[0]
+    cols = sizes[1]
+    for index in range(1, n):
+        cost += product_flops(rows, cols, sizes[index + 1])
+        cols = sizes[index + 1]
+    return cost
+
+
+def right_to_left_cost(sizes: Sequence[int]) -> float:
+    """Cost of the strictly right-to-left evaluation."""
+    sizes = _validate_sizes(sizes)
+    n = len(sizes) - 1
+    cost = 0.0
+    rows = sizes[n - 1]
+    for index in range(n - 2, -1, -1):
+        cost += product_flops(sizes[index], sizes[index + 1], sizes[n])
+    return cost
+
+
+def left_to_right_tree(n: int) -> object:
+    """The parenthesization tree of left-to-right evaluation for ``n`` factors."""
+    tree: object = 0
+    for index in range(1, n):
+        tree = (tree, index)
+    return tree
+
+
+def right_to_left_tree(n: int) -> object:
+    tree: object = n - 1
+    for index in range(n - 2, -1, -1):
+        tree = (index, tree)
+    return tree
+
+
+def chin_heuristic(sizes: Sequence[int]) -> Tuple[float, object]:
+    """A greedy near-optimal heuristic in the spirit of Chin [Chin 1978].
+
+    The heuristic repeatedly multiplies the pair of adjacent matrices whose
+    product is locally cheapest relative to the operand sizes it touches.
+    It is exact on many practical chains and close to optimal otherwise;
+    here it serves as a representative of the linear-time approximation
+    algorithms discussed in the paper's related-work section.
+    """
+    sizes = list(_validate_sizes(sizes))
+    n = len(sizes) - 1
+    if n == 1:
+        return 0.0, 0
+    trees: List[object] = list(range(n))
+    total = 0.0
+    while len(trees) > 1:
+        best_index = 0
+        best_score = math.inf
+        for index in range(len(trees) - 1):
+            m, k, p = sizes[index], sizes[index + 1], sizes[index + 2]
+            # Local benefit of eliminating dimension k now: the cost of the
+            # product relative to the sizes of its operands.
+            score = product_flops(m, k, p) / (m * k + k * p)
+            if score < best_score:
+                best_score = score
+                best_index = index
+        m, k, p = sizes[best_index], sizes[best_index + 1], sizes[best_index + 2]
+        total += product_flops(m, k, p)
+        trees[best_index : best_index + 2] = [(trees[best_index], trees[best_index + 1])]
+        del sizes[best_index + 1]
+    return total, trees[0]
+
+
+# ---------------------------------------------------------------------------
+# A friendly wrapper class
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MatrixChainDP:
+    """Object-style interface to the classic matrix chain algorithm.
+
+    >>> dp = MatrixChainDP([10, 100, 5, 50])
+    >>> dp.optimal_cost
+    7500.0
+    >>> dp.parenthesization()
+    '((M0 * M1) * M2)'
+    """
+
+    sizes: Sequence[int]
+    costs: List[List[float]] = field(init=False, repr=False)
+    solution: List[List[int]] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self.sizes = _validate_sizes(self.sizes)
+        self.costs, self.solution = matrix_chain_order(self.sizes)
+
+    @property
+    def length(self) -> int:
+        return len(self.sizes) - 1
+
+    @property
+    def optimal_cost(self) -> float:
+        if self.length == 1:
+            return 0.0
+        return self.costs[0][self.length - 1]
+
+    def split(self, i: int, j: int) -> int:
+        return self.solution[i][j]
+
+    def parenthesization(self, names: Sequence[str] = ()) -> str:
+        """Render the optimal parenthesization, e.g. ``((M0 * M1) * M2)``."""
+        labels = list(names) if names else [f"M{i}" for i in range(self.length)]
+        if len(labels) != self.length:
+            raise ValueError("one name per chain factor is required")
+
+        def render(i: int, j: int) -> str:
+            if i == j:
+                return labels[i]
+            k = self.solution[i][j]
+            return f"({render(i, k)} * {render(k + 1, j)})"
+
+        return render(0, self.length - 1)
+
+    def tree(self) -> object:
+        """The optimal parenthesization as a nested tuple tree."""
+
+        def build(i: int, j: int) -> object:
+            if i == j:
+                return i
+            k = self.solution[i][j]
+            return (build(i, k), build(k + 1, j))
+
+        return build(0, self.length - 1)
+
+    def multiplication_order(self) -> List[Tuple[int, int, int]]:
+        """The product steps ``(i, k, j)`` in dependency order."""
+        steps: List[Tuple[int, int, int]] = []
+
+        def visit(i: int, j: int) -> None:
+            if i == j:
+                return
+            k = self.solution[i][j]
+            visit(i, k)
+            visit(k + 1, j)
+            steps.append((i, k, j))
+
+        visit(0, self.length - 1)
+        return steps

@@ -1,0 +1,224 @@
+"""Top-down (memoized) variant of the Generalized Matrix Chain algorithm.
+
+Section 2 of the paper notes that the classic matrix chain problem "can be
+elegantly solved with a dynamic programming approach, both in a top-down and
+a bottom-up fashion"; the paper then presents the bottom-up generalization
+(Fig. 4), which :class:`repro.core.gmc.GMCAlgorithm` implements.  This module
+provides the equivalent *top-down memoized* formulation of the generalized
+algorithm.  It computes exactly the same optimal cost and kernel sequence --
+the tests assert this on random chains -- but explores sub-chains lazily,
+which can skip work when large parts of the chain are forced by
+uncomputability (infinite-cost sub-chains) and which some users find easier
+to extend.
+
+The implementation intentionally shares the kernel-selection and
+property-inference machinery with the bottom-up algorithm so that the two can
+only differ in traversal order, never in modelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from ..algebra.expression import Expression, Matrix, Temporary
+from ..algebra.inference import infer_properties
+from ..algebra.operators import Times
+from ..cost.metrics import CostMetric, resolve_metric
+from ..kernels.catalog import KernelCatalog, default_catalog
+from ..kernels.kernel import Kernel, KernelCall, Program
+from ..matching.patterns import Substitution
+from .gmc import ChainLike, UncomputableChainError, _coerce_chain
+
+
+@dataclass
+class _SubChain:
+    """Memoized solution of one sub-chain ``M[i..j]``."""
+
+    cost: object
+    split: int
+    kernel: Optional[Kernel]
+    substitution: Optional[Substitution]
+    expression: Optional[Expression]
+    kernel_cost: object
+    operand: Matrix
+
+
+@dataclass
+class TopDownSolution:
+    """Result of the top-down solver (a lighter cousin of ``GMCSolution``)."""
+
+    factors: Tuple[Expression, ...]
+    expression: Expression
+    metric: CostMetric
+    catalog: KernelCatalog
+    table: Dict[Tuple[int, int], _SubChain]
+
+    @property
+    def length(self) -> int:
+        return len(self.factors)
+
+    @property
+    def optimal_cost(self) -> object:
+        if self.length == 1:
+            return self.metric.zero
+        return self.table[(0, self.length - 1)].cost
+
+    @property
+    def computable(self) -> bool:
+        return not self.metric.is_infinite(self.optimal_cost)
+
+    def construct_solution(self, i: int = 0, j: Optional[int] = None) -> Iterator[KernelCall]:
+        """Yield the kernel calls of the optimal solution (Fig. 7 order)."""
+        if j is None:
+            j = self.length - 1
+        if i == j:
+            return
+        if not self.computable:
+            raise UncomputableChainError(
+                f"no kernel sequence computes {self.expression} with catalog "
+                f"{self.catalog.name}"
+            )
+        cell = self.table[(i, j)]
+        yield from self.construct_solution(i, cell.split)
+        yield from self.construct_solution(cell.split + 1, j)
+        yield KernelCall(
+            kernel=cell.kernel,
+            substitution=cell.substitution,
+            output=cell.operand,
+            expression=cell.expression,
+            flops=cell.kernel.flops(cell.substitution),
+            cost=cell.kernel_cost,
+        )
+
+    def program(self, strategy_name: str = "GMC (top-down)") -> Program:
+        calls = list(self.construct_solution())
+        output = calls[-1].output if calls else (
+            self.factors[0] if isinstance(self.factors[0], Matrix) else None
+        )
+        return Program(
+            calls=calls,
+            output=output,
+            expression=self.expression,
+            strategy=strategy_name,
+        )
+
+    @property
+    def total_flops(self) -> float:
+        return sum(call.flops for call in self.construct_solution())
+
+    def kernel_sequence(self) -> List[str]:
+        return [call.kernel.display_name for call in self.construct_solution()]
+
+    def parenthesization(self) -> str:
+        def render(i: int, j: int) -> str:
+            if i == j:
+                return str(self.factors[i])
+            cell = self.table[(i, j)]
+            if cell.kernel is None:
+                return "<uncomputable>"
+            return f"({render(i, cell.split)} * {render(cell.split + 1, j)})"
+
+        if self.length == 1:
+            return str(self.factors[0])
+        return render(0, self.length - 1)
+
+
+class TopDownGMC:
+    """Top-down memoized formulation of the GMC algorithm.
+
+    Produces the same optimal solutions as :class:`GMCAlgorithm`; see the
+    module docstring for when the traversal order matters.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[KernelCatalog] = None,
+        metric: Union[CostMetric, str, None] = None,
+    ) -> None:
+        self.catalog = catalog if catalog is not None else default_catalog()
+        self.metric = resolve_metric(metric)
+
+    def solve(self, chain: ChainLike) -> TopDownSolution:
+        factors, expression = _coerce_chain(chain)
+        table: Dict[Tuple[int, int], _SubChain] = {}
+        operands: Dict[Tuple[int, int], Matrix] = {}
+
+        def operand_for(i: int, j: int) -> Matrix:
+            """The symbolic operand representing M[i..j] (leaf or temporary)."""
+            if i == j:
+                return factors[i]  # type: ignore[return-value]
+            key = (i, j)
+            if key not in operands:
+                sub_chain = Times(*factors[i : j + 1])
+                operands[key] = Temporary(
+                    rows=sub_chain.rows,
+                    columns=sub_chain.columns,
+                    properties=infer_properties(sub_chain),
+                    origin=sub_chain,
+                )
+            return operands[key]
+
+        def lookup(i: int, j: int) -> object:
+            """Minimal cost of computing M[i..j] (memoized)."""
+            if i == j:
+                return self.metric.zero
+            key = (i, j)
+            if key in table:
+                return table[key].cost
+            best = _SubChain(
+                cost=self.metric.infinity,
+                split=-1,
+                kernel=None,
+                substitution=None,
+                expression=None,
+                kernel_cost=self.metric.infinity,
+                operand=operand_for(i, j),
+            )
+            for k in range(i, j):
+                left_cost = lookup(i, k)
+                right_cost = lookup(k + 1, j)
+                if self.metric.is_infinite(left_cost) or self.metric.is_infinite(right_cost):
+                    continue
+                expr = Times(operand_for(i, k), operand_for(k + 1, j))
+                choice = self._best_kernel(expr)
+                if choice is None:
+                    continue
+                kernel, substitution, kernel_cost = choice
+                cost = self.metric.combine(
+                    self.metric.combine(left_cost, right_cost), kernel_cost
+                )
+                if cost < best.cost:
+                    best = _SubChain(
+                        cost=cost,
+                        split=k,
+                        kernel=kernel,
+                        substitution=substitution,
+                        expression=expr,
+                        kernel_cost=kernel_cost,
+                        operand=operand_for(i, j),
+                    )
+            table[key] = best
+            return best.cost
+
+        lookup(0, len(factors) - 1)
+        return TopDownSolution(
+            factors=factors,
+            expression=expression,
+            metric=self.metric,
+            catalog=self.catalog,
+            table=table,
+        )
+
+    def _best_kernel(
+        self, expr: Expression
+    ) -> Optional[Tuple[Kernel, Substitution, object]]:
+        best: Optional[Tuple[Kernel, Substitution, object]] = None
+        best_key: Optional[Tuple] = None
+        for kernel, substitution in self.catalog.match(expr):
+            kernel_cost = self.metric.kernel_cost(kernel, substitution)
+            key = (kernel_cost, -len(kernel.pattern.constraints), kernel.id)
+            if best_key is None or key < best_key:
+                best_key = key
+                best = (kernel, substitution, kernel_cost)
+        return best

@@ -1,0 +1,36 @@
+"""Cost-metric framework (Section 3.3 of the paper).
+
+Metrics quantify the quality of a candidate solution; the GMC algorithm
+minimizes whichever metric it is given.  Provided metrics: FLOP count,
+roofline-based execution-time estimate, memory traffic, a numerical-accuracy
+penalty, kernel count, weighted sums and lexicographic vector metrics.
+"""
+
+from .machine import DEFAULT_MACHINE, MachineModel
+from .metrics import (
+    AccuracyMetric,
+    CostMetric,
+    CustomMetric,
+    FlopCount,
+    KernelCountMetric,
+    MemoryMetric,
+    PerformanceMetric,
+    VectorMetric,
+    WeightedSumMetric,
+    resolve_metric,
+)
+
+__all__ = [
+    "CostMetric",
+    "FlopCount",
+    "PerformanceMetric",
+    "MemoryMetric",
+    "AccuracyMetric",
+    "KernelCountMetric",
+    "WeightedSumMetric",
+    "VectorMetric",
+    "CustomMetric",
+    "resolve_metric",
+    "MachineModel",
+    "DEFAULT_MACHINE",
+]

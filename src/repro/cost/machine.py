@@ -1,0 +1,57 @@
+"""A simple machine model used by the performance cost metric.
+
+Section 3.3 of the paper argues that the FLOP count is not always an accurate
+predictor of execution time and that the GMC algorithm should accept an
+arbitrary cost metric; the most useful alternative is an estimate of
+execution time that accounts for how "efficient" each kernel is.  The machine
+model here captures the two numbers such an estimate needs: the peak
+floating-point rate and the sustained memory bandwidth.  The default values
+are in the ballpark of the paper's evaluation machine (an Intel Xeon
+E5-2680 v3 at 2.5 GHz); the absolute values only set the time scale -- the
+*relative* comparison between solution candidates, which is what the
+algorithm uses, depends only on their ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Peak compute rate and memory bandwidth of the execution target.
+
+    Attributes
+    ----------
+    peak_flops:
+        Peak double-precision floating-point operations per second.
+    bandwidth_bytes:
+        Sustained main-memory bandwidth in bytes per second.
+    word_bytes:
+        Size of one matrix element in bytes (8 for double precision).
+    """
+
+    peak_flops: float = 4.0e10
+    bandwidth_bytes: float = 6.0e10
+    word_bytes: float = 8.0
+
+    @property
+    def machine_balance(self) -> float:
+        """FLOPs per transferred element at the roofline ridge point."""
+        return self.peak_flops * self.word_bytes / self.bandwidth_bytes
+
+    def compute_time(self, flops: float, efficiency: float) -> float:
+        """Time to execute *flops* at the given fraction of peak."""
+        if flops <= 0.0:
+            return 0.0
+        return flops / (self.peak_flops * efficiency)
+
+    def transfer_time(self, words: float) -> float:
+        """Time to move *words* matrix elements to/from memory."""
+        if words <= 0.0:
+            return 0.0
+        return words * self.word_bytes / self.bandwidth_bytes
+
+
+#: The default machine model (roughly one socket of the paper's test machine).
+DEFAULT_MACHINE = MachineModel()

@@ -1,0 +1,38 @@
+"""Experiment harness: workloads, measurement, and per-figure/table scripts.
+
+The modules in this package regenerate every table and figure of the paper's
+evaluation (Section 4) plus the worked examples of Section 3; see DESIGN.md
+for the experiment index and EXPERIMENTS.md for paper-vs-measured numbers.
+"""
+
+from .harness import (
+    GMC_NAME,
+    ExperimentResult,
+    HarnessConfig,
+    ProblemResult,
+    StrategyResult,
+    run_experiment,
+    run_problem,
+)
+from .workload import (
+    ChainGenerator,
+    TestProblem,
+    named_examples,
+    paper_generator,
+    paper_sizes,
+)
+
+__all__ = [
+    "ChainGenerator",
+    "TestProblem",
+    "paper_generator",
+    "paper_sizes",
+    "named_examples",
+    "HarnessConfig",
+    "StrategyResult",
+    "ProblemResult",
+    "ExperimentResult",
+    "run_problem",
+    "run_experiment",
+    "GMC_NAME",
+]

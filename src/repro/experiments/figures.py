@@ -1,0 +1,259 @@
+"""Reproduction of the paper's figures (Fig. 8 and Fig. 9) and the Section 4
+generation-time statistics.
+
+Each ``figure*`` function runs the experiment of Section 4 -- 100 random
+chains, GMC plus the nine baseline strategies -- and returns the aggregated
+numbers together with a plain-text rendering.  ``python -m
+repro.experiments.figures fig8`` (or ``fig9`` / ``gentime`` / ``all``) prints
+them from the command line; the pytest benchmarks under ``benchmarks/`` call
+the same functions with smaller problem counts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from ..baselines.registry import BASELINE_STRATEGIES
+from ..core.gmc import GMCAlgorithm
+from ..cost.metrics import FlopCount
+from .harness import GMC_NAME, ExperimentResult, HarnessConfig, run_experiment
+from .reporting import bar_chart, format_table, series_chart, to_csv
+from .workload import TestProblem, paper_generator
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: the numbers plus a plain-text rendering."""
+
+    name: str
+    data: Mapping[str, object]
+    text: str
+    experiment: Optional[ExperimentResult] = None
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def _default_problems(
+    count: int, seed: int, full_scale: bool
+) -> List[TestProblem]:
+    generator = paper_generator(seed=seed, full_scale=full_scale)
+    return generator.generate_many(count)
+
+
+def _run(
+    problems: Sequence[TestProblem],
+    execute: bool,
+    validate: bool,
+    seed: int,
+) -> ExperimentResult:
+    config = HarnessConfig(
+        metric=FlopCount(),
+        execute=execute,
+        validate=validate,
+        repetitions=1,
+        seed=seed,
+    )
+    return run_experiment(problems, strategies=BASELINE_STRATEGIES, config=config)
+
+
+def figure8(
+    count: int = 100,
+    seed: int = 0,
+    execute: bool = False,
+    full_scale: bool = False,
+    experiment: Optional[ExperimentResult] = None,
+) -> FigureResult:
+    """Fig. 8: average speedup of GMC-generated code over every baseline.
+
+    The paper reports speedups between 6 and 15 ("on average by a factor of
+    about 9"); the reproduction reports the same statistic over the modeled
+    execution time (and the measured time when ``execute=True``).
+    """
+    if experiment is None:
+        problems = _default_problems(count, seed, full_scale)
+        experiment = _run(problems, execute=execute, validate=False, seed=seed)
+    speedups = experiment.average_speedups(use_measured=execute)
+    labeled = {experiment.labels[name]: value for name, value in speedups.items()}
+    values = [value for value in speedups.values() if value == value]
+    overall = statistics.mean(values) if values else float("nan")
+    chart = bar_chart(
+        labeled,
+        title=(
+            "Figure 8: average speedup of GMC-generated code over other libraries "
+            f"({'measured' if execute else 'modeled'} time, {len(experiment.problems)} chains)"
+        ),
+    )
+    text = chart + f"\noverall average speedup: {overall:.2f}"
+    return FigureResult(
+        name="figure8",
+        data={"speedups": speedups, "labels": labeled, "overall_average": overall},
+        text=text,
+        experiment=experiment,
+    )
+
+
+def figure9(
+    count: int = 100,
+    seed: int = 0,
+    execute: bool = False,
+    full_scale: bool = False,
+    experiment: Optional[ExperimentResult] = None,
+) -> FigureResult:
+    """Fig. 9: per-problem execution time of every strategy, sorted by GMC.
+
+    Also reports the accompanying statistics of Section 4: the fraction of
+    problems where GMC is fastest (paper: 86%), the worst-case ratio against
+    the best strategy (paper: 1.66) and the fraction of problems where some
+    baseline is more than 10x slower.
+    """
+    if experiment is None:
+        problems = _default_problems(count, seed, full_scale)
+        experiment = _run(problems, execute=execute, validate=False, seed=seed)
+    rows = experiment.execution_time_table(use_measured=execute)
+    label_rows = [
+        {
+            **{"problem": row["problem"]},
+            **{
+                experiment.labels[name]: row[name]
+                for name in experiment.strategies
+                if name in row
+            },
+        }
+        for row in rows
+    ]
+    series_names = [experiment.labels[name] for name in experiment.strategies]
+    chart = series_chart(label_rows, series_names)
+    fraction_fastest = experiment.fraction_gmc_fastest(use_measured=execute)
+    worst_ratio = experiment.worst_case_ratio(use_measured=execute)
+    ten_x = _fraction_much_slower(experiment, factor=10.0, use_measured=execute)
+    summary = format_table(
+        ["statistic", "value", "paper"],
+        [
+            ["GMC fastest on", f"{fraction_fastest * 100:.0f}% of problems", "86%"],
+            ["worst GMC / best ratio", f"{worst_ratio:.2f}", "1.66"],
+            ["baselines >10x slower on", f"{ten_x * 100:.0f}% of problems", ">=10%"],
+        ],
+    )
+    text = (
+        f"Figure 9: execution times of all test problems "
+        f"({'measured' if execute else 'modeled'}, sorted by GMC time)\n"
+        + chart
+        + "\n\n"
+        + summary
+    )
+    return FigureResult(
+        name="figure9",
+        data={
+            "rows": rows,
+            "fraction_gmc_fastest": fraction_fastest,
+            "worst_case_ratio": worst_ratio,
+            "fraction_baseline_10x_slower": ten_x,
+        },
+        text=text,
+        experiment=experiment,
+    )
+
+
+def _fraction_much_slower(
+    experiment: ExperimentResult, factor: float, use_measured: bool
+) -> float:
+    """Fraction of problems on which at least one baseline is ``factor`` times
+    slower than the GMC program."""
+    if not experiment.problems:
+        return 0.0
+    count = 0
+    for problem in experiment.problems:
+        gmc_time = (
+            problem.gmc.measured_time if use_measured else problem.gmc.modeled_time
+        )
+        if not gmc_time:
+            continue
+        for name, result in problem.results.items():
+            if name == GMC_NAME or result.failed:
+                continue
+            value = result.measured_time if use_measured else result.modeled_time
+            if value is not None and value > factor * gmc_time:
+                count += 1
+                break
+    return count / len(experiment.problems)
+
+
+def generation_time(
+    count: int = 100,
+    seed: int = 0,
+    full_scale: bool = True,
+) -> FigureResult:
+    """Section 4 generation-time claim: solving a chain takes milliseconds.
+
+    The paper reports an average of 0.03 s and a maximum below 0.07 s, and
+    stresses that generation time does not depend on matrix sizes; the
+    reproduction therefore defaults to the full-scale size grid.
+    """
+    problems = _default_problems(count, seed, full_scale)
+    algorithm = GMCAlgorithm()
+    times: List[float] = []
+    lengths: List[int] = []
+    for problem in problems:
+        solution = algorithm.solve(problem.expression)
+        times.append(solution.generation_time)
+        lengths.append(problem.length)
+    data: Dict[str, object] = {
+        "mean": statistics.mean(times),
+        "max": max(times),
+        "min": min(times),
+        "count": len(times),
+    }
+    table = format_table(
+        ["statistic", "value", "paper"],
+        [
+            ["mean generation time", f"{data['mean'] * 1e3:.2f} ms", "30 ms"],
+            ["max generation time", f"{data['max'] * 1e3:.2f} ms", "< 70 ms"],
+            ["chains", len(times), 100],
+            ["mean chain length", f"{statistics.mean(lengths):.1f}", "6.5"],
+        ],
+    )
+    text = "Generation-time statistics of the GMC algorithm\n" + table
+    return FigureResult(name="generation_time", data=data, text=text)
+
+
+def export_figure9_csv(result: FigureResult) -> str:
+    """CSV export of the Fig. 9 rows (problem x strategy time matrix)."""
+    rows = result.data.get("rows", [])
+    return to_csv(list(rows))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description="Reproduce the paper's figures")
+    parser.add_argument("figure", choices=["fig8", "fig9", "gentime", "all"])
+    parser.add_argument("--count", type=int, default=100, help="number of random chains")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--execute", action="store_true", help="measure NumPy execution instead of modeled time"
+    )
+    parser.add_argument(
+        "--paper-sizes",
+        action="store_true",
+        help="use the paper's full 50..2000 operand size grid",
+    )
+    args = parser.parse_args(argv)
+    experiment: Optional[ExperimentResult] = None
+    if args.figure in ("fig8", "fig9", "all"):
+        problems = _default_problems(args.count, args.seed, args.paper_sizes)
+        experiment = _run(problems, execute=args.execute, validate=False, seed=args.seed)
+    if args.figure in ("fig8", "all"):
+        print(figure8(execute=args.execute, experiment=experiment).text)
+        print()
+    if args.figure in ("fig9", "all"):
+        print(figure9(execute=args.execute, experiment=experiment).text)
+        print()
+    if args.figure in ("gentime", "all"):
+        print(generation_time(count=args.count, seed=args.seed).text)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,148 @@
+"""Plain-text reporting helpers: ASCII bar charts, tables and CSV export.
+
+Matplotlib is not available in the offline environment, so figures are
+rendered as ASCII charts and as CSV files that can be plotted elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import math
+from typing import Dict, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.4g}",
+) -> str:
+    """Render a simple fixed-width text table."""
+    rendered_rows: List[List[str]] = []
+    for row in rows:
+        rendered: List[str] = []
+        for value in row:
+            if isinstance(value, float):
+                if math.isinf(value):
+                    rendered.append("inf")
+                elif math.isnan(value):
+                    rendered.append("-")
+                else:
+                    rendered.append(float_format.format(value))
+            else:
+                rendered.append(str(value))
+        rendered_rows.append(rendered)
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    lines.append("  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    value_format: str = "{:.2f}",
+) -> str:
+    """Render a horizontal ASCII bar chart (used for the Fig. 8 reproduction)."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    finite = [value for value in values.values() if math.isfinite(value)]
+    maximum = max(finite) if finite else 1.0
+    label_width = max((len(label) for label in values), default=0)
+    for label, value in values.items():
+        if not math.isfinite(value):
+            bar = "?"
+            text = "inf"
+        else:
+            bar = "#" * max(1, int(round(width * value / maximum))) if maximum > 0 else ""
+            text = value_format.format(value)
+        lines.append(f"{label.ljust(label_width)} | {bar} {text}")
+    return "\n".join(lines)
+
+
+def series_chart(
+    rows: Sequence[Mapping[str, float]],
+    series: Sequence[str],
+    value_key_format: str = "{:.3g}",
+    height: int = 18,
+    log_scale: bool = True,
+) -> str:
+    """Render several series (one column per problem) as an ASCII scatter plot.
+
+    Used for the Fig. 9 reproduction: problems on the x axis (sorted by the
+    GMC time), times on the (logarithmic) y axis, one character per series.
+    """
+    markers = "GabcdefghijklmnopqrstuvwxyZ"
+    points: Dict[str, List[float]] = {name: [] for name in series}
+    for row in rows:
+        for name in series:
+            value = row.get(name, float("nan"))
+            points[name].append(value)
+    finite = [
+        value
+        for values in points.values()
+        for value in values
+        if isinstance(value, float) and math.isfinite(value) and value > 0
+    ]
+    if not finite:
+        return "(no data)"
+    low, high = min(finite), max(finite)
+    if log_scale:
+        low, high = math.log10(low), math.log10(max(high, low * 1.0000001))
+    span = max(high - low, 1e-12)
+    columns = len(rows)
+    grid = [[" "] * columns for _ in range(height)]
+    for series_index, name in enumerate(series):
+        marker = markers[series_index % len(markers)]
+        for column, value in enumerate(points[name]):
+            if not (isinstance(value, float) and math.isfinite(value) and value > 0):
+                continue
+            position = math.log10(value) if log_scale else value
+            level = int(round((position - low) / span * (height - 1)))
+            level = min(max(level, 0), height - 1)
+            row_index = height - 1 - level
+            if grid[row_index][column] == " ":
+                grid[row_index][column] = marker
+    lines = ["".join(row) for row in grid]
+    legend = ", ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    axis = (
+        f"y: {'log10 ' if log_scale else ''}time in "
+        f"[{value_key_format.format(10 ** low if log_scale else low)}, "
+        f"{value_key_format.format(10 ** high if log_scale else high)}] s; "
+        f"x: {columns} problems sorted by GMC time"
+    )
+    return "\n".join(lines + [axis, "legend: " + legend])
+
+
+def to_csv(
+    rows: Sequence[Mapping[str, object]],
+    fieldnames: Optional[Sequence[str]] = None,
+) -> str:
+    """Serialize result rows as CSV text."""
+    if not rows:
+        return ""
+    if fieldnames is None:
+        fieldnames = list(rows[0].keys())
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(fieldnames), extrasaction="ignore")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow(dict(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: str, rows: Sequence[Mapping[str, object]]) -> None:
+    """Write result rows to a CSV file."""
+    text = to_csv(rows)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)

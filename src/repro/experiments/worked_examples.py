@@ -1,0 +1,192 @@
+"""The worked examples of Sections 3.2 and 3.3 of the paper.
+
+* :func:`section32_property_example` -- the chain ``X := A^T A B`` with
+  ``A`` 20x20 and ``B`` 20x15: the paper compares the solution that ignores
+  the symmetry of ``A^T A`` (24000 FLOPs for the ``A (A B)``-style grouping,
+  28000 FLOPs for ``(A^T A) B`` with general kernels) against the solution
+  that exploits it (22000 FLOPs with SYMM, 14000 FLOPs when SYRK is also
+  used), showing that properties change both kernel selection and
+  parenthesization.
+* :func:`section33_cost_function_example` -- the chain ``ABCDE`` with sizes
+  130, 700, 383, 1340, 193, 900: the FLOP-optimal parenthesization is
+  ``(((AB)C)D)E`` with 3.16e8 FLOPs while the time-optimal one is
+  ``((AB)(CD))E`` with 3.32e8 FLOPs, demonstrating that FLOPs and execution
+  time can disagree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping
+
+from ..algebra.expression import Matrix
+from ..algebra.operators import Times
+from ..core.gmc import GMCAlgorithm
+from ..core.mcp import MatrixChainDP, parenthesization_cost
+from ..cost.metrics import PerformanceMetric
+from ..kernels.catalog import default_catalog
+from .reporting import format_table
+
+
+@dataclass
+class WorkedExample:
+    """Structured result of a worked example plus its text rendering."""
+
+    name: str
+    data: Mapping[str, object]
+    text: str
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def section32_property_example(n: int = 20, m: int = 15) -> WorkedExample:
+    """Reproduce the FLOP counts of the ``X := A^T A B`` example (Section 3.2)."""
+    a = Matrix("A", n, n)
+    b = Matrix("B", n, m)
+    expression = Times(a.T, a, b)
+
+    # Solution 1 (paper): W := A B, X := A^T W -- two general products.
+    right_first = 2.0 * n * n * m + 2.0 * n * n * m
+
+    # Solution 2a (paper): W := A^T A as GEMM, X := W B as GEMM.
+    left_first_general = 2.0 * n ** 3 + 2.0 * n * n * m
+
+    # Solution 2b (paper): W := A^T A as GEMM, X := W B as SYMM (half the FLOPs).
+    left_first_symm = 2.0 * n ** 3 + float(n) * n * m
+
+    # Solution 2c (paper's note): W := A^T A as SYRK, X := W B as SYMM.
+    left_first_syrk = float(n) ** 3 + float(n) * n * m
+
+    # What the GMC algorithm actually chooses, with and without properties.
+    gmc_with_properties = GMCAlgorithm().solve(expression)
+    gmc_without_properties = GMCAlgorithm(
+        catalog=default_catalog(include_specialized=False)
+    ).solve(expression)
+
+    data: Dict[str, object] = {
+        "right_first_general": right_first,
+        "left_first_general": left_first_general,
+        "left_first_symm": left_first_symm,
+        "left_first_syrk": left_first_syrk,
+        "gmc_flops": gmc_with_properties.total_flops,
+        "gmc_parenthesization": gmc_with_properties.parenthesization(),
+        "gmc_kernels": gmc_with_properties.kernel_sequence(),
+        "gmc_generic_flops": gmc_without_properties.total_flops,
+        "gmc_generic_parenthesization": gmc_without_properties.parenthesization(),
+        "paper_values": {"right_first": 24000.0, "left_first_general": 28000.0, "left_first_symm": 22000.0},
+    }
+    table = format_table(
+        ["solution", "FLOPs", "paper"],
+        [
+            ["A^T (A B), two GEMMs", right_first, 24000],
+            ["(A^T A) B, two GEMMs", left_first_general, 28000],
+            ["(A^T A) B, GEMM + SYMM", left_first_symm, 22000],
+            ["(A^T A) B, SYRK + SYMM", left_first_syrk, "(note: half)"],
+            [
+                f"GMC with properties: {data['gmc_parenthesization']}",
+                data["gmc_flops"],
+                "<= 22000",
+            ],
+            [
+                f"GMC generic kernels: {data['gmc_generic_parenthesization']}",
+                data["gmc_generic_flops"],
+                "24000",
+            ],
+        ],
+    )
+    text = f"Section 3.2 example: X := A^T A B with n={n}, m={m}\n" + table
+    return WorkedExample(name="section32", data=data, text=text)
+
+
+#: The operand sizes of the Section 3.3 example (from left to right).
+SECTION33_SIZES = (130, 700, 383, 1340, 193, 900)
+
+
+def section33_cost_function_example() -> WorkedExample:
+    """Reproduce the FLOPs-vs-time example for ``ABCDE`` (Section 3.3)."""
+    sizes = SECTION33_SIZES
+    dp = MatrixChainDP(sizes)
+    flop_optimal_tree = dp.tree()
+    flop_optimal_cost = dp.optimal_cost
+
+    # The time-optimal parenthesization reported by the paper: ((AB)(CD))E.
+    time_optimal_tree = (((0, 1), (2, 3)), 4)
+    time_optimal_flops = parenthesization_cost(time_optimal_tree, sizes)
+
+    matrices = [Matrix(f"M{i}", sizes[i], sizes[i + 1]) for i in range(5)]
+    expression = Times(*matrices)
+    gmc_flops_solution = GMCAlgorithm(metric="flops").solve(expression)
+    gmc_time_solution = GMCAlgorithm(metric="time").solve(expression)
+    model = PerformanceMetric()
+
+    data: Dict[str, object] = {
+        "sizes": sizes,
+        "flop_optimal_cost": flop_optimal_cost,
+        "flop_optimal_parenthesization": dp.parenthesization(["A", "B", "C", "D", "E"]),
+        "time_optimal_flops_paper": 3.32e8,
+        "time_optimal_flops": time_optimal_flops,
+        "gmc_flops_metric_parenthesization": gmc_flops_solution.parenthesization(),
+        "gmc_time_metric_parenthesization": gmc_time_solution.parenthesization(),
+        "gmc_flops": gmc_flops_solution.total_flops,
+        "paper_flop_optimal": 3.16e8,
+    }
+    table = format_table(
+        ["quantity", "value", "paper"],
+        [
+            ["FLOP-optimal parenthesization", data["flop_optimal_parenthesization"], "(((AB)C)D)E"],
+            ["FLOP-optimal cost", flop_optimal_cost, "3.16e8"],
+            ["FLOPs of ((AB)(CD))E", time_optimal_flops, "3.32e8"],
+            ["GMC (flops metric)", data["gmc_flops_metric_parenthesization"], "(((AB)C)D)E"],
+            ["GMC (time metric)", data["gmc_time_metric_parenthesization"], "((AB)(CD))E"],
+        ],
+    )
+    note = (
+        "note: the paper's time-optimal parenthesization differs because of cache\n"
+        "effects between consecutive kernels, which the roofline model does not\n"
+        "capture (performance is not composable; see Section 3.3 / EXPERIMENTS.md)."
+    )
+    text = "Section 3.3 example: ABCDE, FLOPs vs. execution time\n" + table + "\n" + note
+    return WorkedExample(name="section33", data=data, text=text)
+
+
+def completeness_example() -> WorkedExample:
+    """Reproduce the completeness discussion of Section 3.4.
+
+    Without a kernel for ``X^-1 Y^-1``, the chain ``A^-1 B^-1 C`` is still
+    computable (solve two linear systems right to left), whereas the length-2
+    chain ``A^-1 B^-1`` is not.
+    """
+    n = 50
+    a = Matrix("A", n, n)
+    b = Matrix("B", n, n)
+    c = Matrix("C", n, 30)
+    catalog = default_catalog(include_combined_inverse=False)
+    gmc = GMCAlgorithm(catalog=catalog)
+
+    three = gmc.solve(Times(a.I, b.I, c))
+    two = gmc.solve(Times(a.I, b.I))
+    with_kernel = GMCAlgorithm().solve(Times(a.I, b.I))
+
+    data = {
+        "three_factor_computable": three.computable,
+        "three_factor_parenthesization": three.parenthesization() if three.computable else None,
+        "three_factor_kernels": three.kernel_sequence() if three.computable else [],
+        "two_factor_computable": two.computable,
+        "two_factor_with_gesv2_computable": with_kernel.computable,
+    }
+    table = format_table(
+        ["chain", "catalog", "computable", "solution"],
+        [
+            [
+                "A^-1 B^-1 C",
+                "without X^-1 Y^-1 kernel",
+                three.computable,
+                data["three_factor_parenthesization"] or "-",
+            ],
+            ["A^-1 B^-1", "without X^-1 Y^-1 kernel", two.computable, "-"],
+            ["A^-1 B^-1", "with X^-1 Y^-1 kernel (GESV2)", with_kernel.computable, with_kernel.parenthesization() if with_kernel.computable else "-"],
+        ],
+    )
+    text = "Section 3.4 completeness example\n" + table
+    return WorkedExample(name="completeness", data=data, text=text)

@@ -1,0 +1,283 @@
+"""Random generalized-matrix-chain workloads (paper Section 4).
+
+The evaluation problems of the paper are generated randomly: chains of
+length uniform in [3, 10]; operand sizes uniform over {50, 100, ..., 2000};
+a mix of square and rectangular matrices as well as vectors; operands may be
+transposed and/or inverted; and each operand may carry one of the properties
+diagonal, lower triangular, upper triangular, symmetric or SPD.  The
+generator below reproduces that distribution (with a configurable size grid
+so the test-suite and benchmark defaults stay laptop-friendly) while
+enforcing well-formedness: adjacent dimensions match, only square operands
+are inverted, and square-only properties are only attached to square
+operands.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.expression import Expression, Matrix
+from ..algebra.operators import Times
+from ..algebra.properties import Property
+from ..algebra.simplify import wrap_leaf
+
+#: The property choices of Section 4 ("may have one of the following
+#: properties"), including "no property".
+PROPERTY_CHOICES: Tuple[Optional[Property], ...] = (
+    None,
+    Property.DIAGONAL,
+    Property.LOWER_TRIANGULAR,
+    Property.UPPER_TRIANGULAR,
+    Property.SYMMETRIC,
+    Property.SPD,
+)
+
+
+@dataclass(frozen=True)
+class TestProblem:
+    """One randomly generated chain problem."""
+
+    identifier: str
+    expression: Expression
+    factors: Tuple[Expression, ...]
+    operands: Tuple[Matrix, ...]
+    seed: int
+
+    @property
+    def length(self) -> int:
+        return len(self.factors)
+
+    def __str__(self) -> str:
+        return f"{self.identifier}: {self.expression}"
+
+
+@dataclass
+class ChainGenerator:
+    """Random generator of generalized matrix chains.
+
+    Parameters
+    ----------
+    min_length, max_length:
+        Chain length range (paper: 3 to 10, inclusive).
+    size_choices:
+        The grid operand dimensions are drawn from.  The paper uses
+        ``range(50, 2001, 50)``; the default here is a scaled-down grid so
+        that executing every strategy on every problem stays fast.  Use
+        :func:`paper_sizes` for the full-scale grid.
+    vector_probability:
+        Probability that a dimension is 1, which makes the adjacent operands
+        vectors (the paper's problems include vectors).
+    square_probability:
+        Probability that a dimension repeats the previous one, making the
+        operand square.  The paper's problems mix square and rectangular
+        operands; square operands are required for inversion and for the
+        square-only properties (triangular, symmetric, SPD).
+    transpose_probability / inverse_probability:
+        Probability that an operand is transposed / inverted (inversion is
+        only applied to square operands).
+    property_probability:
+        Probability that an eligible operand carries a structural property.
+    seed:
+        Seed of the underlying pseudo-random generator.
+    """
+
+    min_length: int = 3
+    max_length: int = 10
+    size_choices: Sequence[int] = tuple(range(50, 301, 50))
+    vector_probability: float = 0.10
+    square_probability: float = 0.40
+    transpose_probability: float = 0.25
+    inverse_probability: float = 0.25
+    property_probability: float = 0.60
+    seed: int = 0
+    _rng: random.Random = field(init=False, repr=False)
+    _counter: int = field(init=False, default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.min_length < 2:
+            raise ValueError("chains must have at least two factors")
+        if self.max_length < self.min_length:
+            raise ValueError("max_length must be >= min_length")
+        if not self.size_choices:
+            raise ValueError("size_choices must not be empty")
+        self._rng = random.Random(self.seed)
+
+    # ------------------------------------------------------------------- API
+    def generate(self) -> TestProblem:
+        """Generate one random, well-formed chain problem."""
+        self._counter += 1
+        rng = self._rng
+        length = rng.randint(self.min_length, self.max_length)
+        dimensions = self._random_dimensions(length)
+        factors: List[Expression] = []
+        operands: List[Matrix] = []
+        for index in range(length):
+            rows, columns = dimensions[index], dimensions[index + 1]
+            factor, operand = self._random_factor(index, rows, columns)
+            factors.append(factor)
+            operands.append(operand)
+        expression = Times(*factors)
+        return TestProblem(
+            identifier=f"chain{self._counter:03d}",
+            expression=expression,
+            factors=tuple(factors),
+            operands=tuple(operands),
+            seed=self.seed,
+        )
+
+    def generate_many(self, count: int) -> List[TestProblem]:
+        """Generate a batch of problems (the paper uses 100)."""
+        return [self.generate() for _ in range(count)]
+
+    # ------------------------------------------------------------- internals
+    def _random_dimensions(self, length: int) -> List[int]:
+        rng = self._rng
+        dimensions: List[int] = [rng.choice(list(self.size_choices))]
+        for position in range(1, length + 1):
+            interior = position < length
+            if interior and rng.random() < self.vector_probability:
+                dimensions.append(1)
+            elif dimensions[-1] > 1 and rng.random() < self.square_probability:
+                # Repeat the previous dimension: the operand at ``position - 1``
+                # becomes square and is eligible for inversion and for
+                # square-only properties.
+                dimensions.append(dimensions[-1])
+            else:
+                dimensions.append(rng.choice(list(self.size_choices)))
+        return dimensions
+
+    def _random_factor(self, index: int, rows: int, columns: int) -> Tuple[Expression, Matrix]:
+        rng = self._rng
+        square = rows == columns and rows > 1
+        transposed = rng.random() < self.transpose_probability
+        inverted = square and rng.random() < self.inverse_probability
+        # The factor occupies ``rows x columns`` in the chain; the declared
+        # operand is transposed relative to that when the factor is transposed.
+        operand_rows, operand_columns = (columns, rows) if transposed else (rows, columns)
+        properties = self._random_properties(operand_rows, operand_columns, inverted)
+        operand = Matrix(f"M{index}", operand_rows, operand_columns, properties)
+        factor = wrap_leaf(operand, transposed, inverted)
+        return factor, operand
+
+    def _random_properties(
+        self, rows: int, columns: int, inverted: bool
+    ) -> Tuple[Property, ...]:
+        rng = self._rng
+        properties: List[Property] = []
+        if rows == columns and rows > 1 and rng.random() < self.property_probability:
+            choice = rng.choice([p for p in PROPERTY_CHOICES if p is not None])
+            properties.append(choice)
+        if inverted:
+            properties.append(Property.NON_SINGULAR)
+        return tuple(properties)
+
+
+def paper_sizes() -> Tuple[int, ...]:
+    """The full-scale operand size grid of the paper: 50, 100, ..., 2000."""
+    return tuple(range(50, 2001, 50))
+
+
+def paper_generator(seed: int = 0, full_scale: bool = False) -> ChainGenerator:
+    """A generator configured like the paper's experiment (Section 4).
+
+    With ``full_scale=False`` (the default) the size grid is scaled down so
+    that executing all strategies on 100 chains finishes in minutes; pass
+    ``full_scale=True`` to use the paper's 50..2000 grid.
+    """
+    sizes = paper_sizes() if full_scale else tuple(range(50, 301, 50))
+    return ChainGenerator(
+        min_length=3,
+        max_length=10,
+        size_choices=sizes,
+        vector_probability=0.10,
+        square_probability=0.40,
+        transpose_probability=0.25,
+        inverse_probability=0.25,
+        property_probability=0.60,
+        seed=seed,
+    )
+
+
+def named_examples() -> Dict[str, TestProblem]:
+    """Hand-written chains from the paper's introduction and Section 4.
+
+    These exercise the application patterns the paper motivates:
+    triangular-matrix inversion, the ensemble Kalman filter, the generalized
+    eigenproblem reduction, and the matrix-times-vectors tail case.
+    """
+    problems: Dict[str, TestProblem] = {}
+
+    # Blocked triangular inversion: L22^-1 L21 L11^-1 L10  [Bientinesi 2008].
+    n = 120
+    l22 = Matrix("L22", n, n, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+    l21 = Matrix("L21", n, n)
+    l11 = Matrix("L11", n, n, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+    l10 = Matrix("L10", n, 80)
+    factors = (l22.I, l21, l11.I, l10)
+    problems["triangular_inversion"] = TestProblem(
+        identifier="triangular_inversion",
+        expression=Times(*factors),
+        factors=factors,
+        operands=(l22, l21, l11, l10),
+        seed=0,
+    )
+
+    # Ensemble Kalman filter: X S Y^T R^-1  [Rao 2017].
+    xb = Matrix("Xb", 200, 50)
+    s = Matrix("S", 50, 50, {Property.SPD})
+    yb = Matrix("Yb", 150, 50)
+    r = Matrix("R", 150, 150, {Property.SPD})
+    factors = (xb, s, yb.T, r.I)
+    problems["kalman_filter"] = TestProblem(
+        identifier="kalman_filter",
+        expression=Times(*factors),
+        factors=factors,
+        operands=(xb, s, yb, r),
+        seed=0,
+    )
+
+    # Generalized eigenproblem reduction: L^-1 A L^-T  [Section 3.2].
+    m = 150
+    lower = Matrix("L", m, m, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+    a = Matrix("A", m, m, {Property.SYMMETRIC})
+    factors = (lower.I, a, lower.invT)
+    problems["generalized_eigenproblem"] = TestProblem(
+        identifier="generalized_eigenproblem",
+        expression=Times(*factors),
+        factors=factors,
+        operands=(lower, a, lower),
+        seed=0,
+    )
+
+    # Matrix chain with a vector tail: M1 M2 M3 v1 v2^T  [Section 4].
+    m1 = Matrix("M1", 180, 150)
+    m2 = Matrix("M2", 150, 120)
+    m3 = Matrix("M3", 120, 90)
+    v1 = Matrix("v1", 90, 1)
+    v2 = Matrix("v2", 60, 1)
+    factors = (m1, m2, m3, v1, v2.T)
+    problems["vector_tail"] = TestProblem(
+        identifier="vector_tail",
+        expression=Times(*factors),
+        factors=factors,
+        operands=(m1, m2, m3, v1, v2),
+        seed=0,
+    )
+
+    # Tridiagonal reduction fragment: tau * v v^T A u u^T (scalars dropped).
+    k = 130
+    v = Matrix("v", k, 1)
+    a_full = Matrix("A", k, k, {Property.SYMMETRIC})
+    u = Matrix("u", k, 1)
+    factors = (v, v.T, a_full, u, u.T)
+    problems["tridiagonal_reduction"] = TestProblem(
+        identifier="tridiagonal_reduction",
+        expression=Times(*factors),
+        factors=factors,
+        operands=(v, a_full, u),
+        seed=0,
+    )
+
+    return problems

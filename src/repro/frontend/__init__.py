@@ -1,0 +1,17 @@
+"""End-to-end compiler front-end (the Linnea-style pipeline of the paper)."""
+
+from .compiler import (
+    CompilationResult,
+    CompiledAssignment,
+    compile_program,
+    compile_source,
+    main,
+)
+
+__all__ = [
+    "CompilationResult",
+    "CompiledAssignment",
+    "compile_program",
+    "compile_source",
+    "main",
+]

@@ -1,0 +1,6 @@
+"""``python -m repro.frontend`` — compile a problem description to kernel code."""
+
+from .compiler import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,189 @@
+"""A Linnea-style compiler front-end: textual problem in, kernel code out.
+
+The paper positions the GMC algorithm as the chain-solving core of the
+Linnea compiler: the user supplies operand definitions and assignments
+(Figs. 1 and 2) and receives a sequence of kernel calls.  This module wires
+the pieces of this repository into that end-to-end pipeline:
+
+    source text --(repro.algebra.dsl)--> expressions
+                --(repro.core.gmc)-----> kernel programs
+                --(repro.codegen)------> Julia-style / NumPy code
+
+Use :func:`compile_source` programmatically or ``python -m repro.frontend``
+from the command line.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from ..algebra.dsl import Program as ParsedProgram
+from ..algebra.dsl import parse_program
+from ..algebra.expression import Expression, Matrix
+from ..codegen.julia import generate_julia
+from ..codegen.python_numpy import generate_numpy
+from ..core.gmc import GMCAlgorithm, GMCSolution
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog
+from ..kernels.kernel import Program
+
+
+@dataclass
+class CompiledAssignment:
+    """The compilation result for one assignment of the input program."""
+
+    target: str
+    expression: Expression
+    solution: GMCSolution
+    program: Program
+
+    @property
+    def kernel_sequence(self) -> List[str]:
+        return list(self.program.kernel_names)
+
+    @property
+    def flops(self) -> float:
+        return self.program.total_flops
+
+    def julia(self) -> str:
+        """Julia-flavoured source for this assignment."""
+        return generate_julia(self.program, function_name=f"compute_{self.target}")
+
+    def numpy(self) -> str:
+        """NumPy source for this assignment."""
+        return generate_numpy(self.program, function_name=f"compute_{self.target.lower()}")
+
+    def summary(self) -> str:
+        return (
+            f"{self.target} := {self.expression}\n"
+            f"  parenthesization: {self.solution.parenthesization()}\n"
+            f"  kernels:          {' -> '.join(self.kernel_sequence)}\n"
+            f"  FLOPs:            {self.flops:.4g}\n"
+            f"  generation time:  {self.solution.generation_time * 1e3:.2f} ms"
+        )
+
+
+@dataclass
+class CompilationResult:
+    """The compilation result for a whole program (several assignments)."""
+
+    operands: Dict[str, Matrix]
+    assignments: List[CompiledAssignment] = field(default_factory=list)
+
+    def __iter__(self):
+        return iter(self.assignments)
+
+    def __len__(self) -> int:
+        return len(self.assignments)
+
+    def assignment(self, target: str) -> CompiledAssignment:
+        for compiled in self.assignments:
+            if compiled.target == target:
+                return compiled
+        raise KeyError(target)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(compiled.flops for compiled in self.assignments)
+
+    def julia(self) -> str:
+        """Julia-flavoured source for the whole program."""
+        return "\n\n".join(compiled.julia() for compiled in self.assignments)
+
+    def numpy(self) -> str:
+        """NumPy source for the whole program."""
+        return "\n\n".join(compiled.numpy() for compiled in self.assignments)
+
+    def report(self) -> str:
+        lines = ["compiled program:"]
+        for name, operand in self.operands.items():
+            properties = ", ".join(sorted(p.name for p in operand.properties)) or "-"
+            lines.append(f"  operand {name}: {operand.rows} x {operand.columns}  <{properties}>")
+        lines.append("")
+        for compiled in self.assignments:
+            lines.append(compiled.summary())
+            lines.append("")
+        lines.append(f"total cost: {self.total_flops:.4g} FLOPs")
+        return "\n".join(lines)
+
+
+def compile_program(
+    program: ParsedProgram,
+    metric: Union[CostMetric, str, None] = None,
+    catalog: Optional[KernelCatalog] = None,
+) -> CompilationResult:
+    """Compile an already-parsed DSL program."""
+    gmc = GMCAlgorithm(catalog=catalog, metric=metric)
+    result = CompilationResult(operands=dict(program.operands))
+    for target, expression in program.assignments:
+        solution = gmc.solve(expression)
+        kernel_program = solution.program(strategy_name=f"GMC[{target}]")
+        result.assignments.append(
+            CompiledAssignment(
+                target=target,
+                expression=expression,
+                solution=solution,
+                program=kernel_program,
+            )
+        )
+    return result
+
+
+def compile_source(
+    source: str,
+    metric: Union[CostMetric, str, None] = None,
+    catalog: Optional[KernelCatalog] = None,
+) -> CompilationResult:
+    """Compile a textual problem description (Figs. 1/2 grammar) end to end.
+
+    >>> result = compile_source('''
+    ... Matrix A (100, 100) <SPD>
+    ... Matrix B (100, 40) <>
+    ... X := A^-1 * B
+    ... ''')
+    >>> result.assignment("X").kernel_sequence
+    ['POSV']
+    """
+    return compile_program(parse_program(source), metric=metric, catalog=catalog)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Command-line entry point: ``python -m repro.frontend problem.chain``."""
+    parser = argparse.ArgumentParser(
+        prog="repro.frontend",
+        description="Compile generalized matrix chain problems to kernel code",
+    )
+    parser.add_argument(
+        "source",
+        nargs="?",
+        help="path to the problem description (reads stdin when omitted)",
+    )
+    parser.add_argument(
+        "--metric",
+        default="flops",
+        choices=["flops", "time", "memory", "accuracy", "kernels"],
+        help="cost metric to minimize (default: flops)",
+    )
+    parser.add_argument(
+        "--emit",
+        default="report",
+        choices=["report", "julia", "numpy"],
+        help="what to print: a human-readable report or generated code",
+    )
+    args = parser.parse_args(argv)
+    if args.source:
+        with open(args.source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    else:
+        text = sys.stdin.read()
+    result = compile_source(text, metric=args.metric)
+    if args.emit == "julia":
+        print(result.julia())
+    elif args.emit == "numpy":
+        print(result.numpy())
+    else:
+        print(result.report())
+    return 0

@@ -1,0 +1,160 @@
+"""Floating-point operation counts for the kernels in the catalog.
+
+The formulas follow the conventions of the paper (Table 1 and footnote 2):
+
+* a general matrix-matrix product of an ``m x k`` by a ``k x n`` matrix costs
+  ``2 m n k`` FLOPs;
+* kernels that exploit triangular or symmetric structure (TRMM, SYMM, TRSM,
+  SYRK) perform half the scalar operations of the general product;
+* factorization-based solves are costed as factorization plus triangular
+  solves (e.g. Cholesky ``m^3 / 3`` plus two ``m^2 n`` solves for POSV).
+
+All functions return ``float`` so that they can be combined freely with the
+cost-metric framework (including infinities for "not computable").
+"""
+
+from __future__ import annotations
+
+
+def gemm(m: int, n: int, k: int) -> float:
+    """General matrix-matrix product ``C(m x n) := A(m x k) B(k x n)``."""
+    return 2.0 * m * n * k
+
+
+def trmm(m: int, n: int) -> float:
+    """Triangular ``A(m x m)`` times general ``B(m x n)`` (either side)."""
+    return float(m) * m * n
+
+
+def symm(m: int, n: int) -> float:
+    """Symmetric ``A(m x m)`` times general ``B(m x n)``.
+
+    The paper (Table 1, footnote 4) counts SYMM at half the scalar operations
+    of GEMM because only one triangle of ``A`` is read.
+    """
+    return float(m) * m * n
+
+
+def syrk(m: int, k: int) -> float:
+    """Symmetric rank-k update ``C(m x m) := A^T(m x k') A`` -- ``m^2 k`` FLOPs."""
+    return float(m) * m * k
+
+
+def diagmm(m: int, n: int) -> float:
+    """Diagonal times general matrix: one multiply per output entry."""
+    return float(m) * n
+
+
+def scalmm(m: int, n: int) -> float:
+    """Scalar times matrix: one multiply per entry."""
+    return float(m) * n
+
+
+def gemv(m: int, n: int) -> float:
+    """General matrix-vector product ``y := A(m x n) x``."""
+    return 2.0 * m * n
+
+
+def trmv(n: int) -> float:
+    """Triangular matrix-vector product."""
+    return float(n) * n
+
+
+def symv(n: int) -> float:
+    """Symmetric matrix-vector product (one triangle read)."""
+    return float(n) * n
+
+
+def diagmv(n: int) -> float:
+    return float(n)
+
+
+def ger(m: int, n: int) -> float:
+    """Outer product ``A := x y^T`` -- one multiply per entry."""
+    return float(m) * n
+
+
+def dot(n: int) -> float:
+    """Inner product of two length-``n`` vectors."""
+    return 2.0 * n
+
+
+def axpy(n: int) -> float:
+    return 2.0 * n
+
+
+# -- factorizations ---------------------------------------------------------
+
+def cholesky(n: int) -> float:
+    """Cholesky factorization of an SPD ``n x n`` matrix."""
+    return (n ** 3) / 3.0
+
+
+def lu(n: int) -> float:
+    """LU factorization with partial pivoting of an ``n x n`` matrix."""
+    return 2.0 * (n ** 3) / 3.0
+
+
+def ldlt(n: int) -> float:
+    """LDL^T factorization of a symmetric indefinite ``n x n`` matrix."""
+    return (n ** 3) / 3.0
+
+
+def trsm(m: int, n: int) -> float:
+    """Triangular solve with ``n`` right-hand sides (``A`` is ``m x m``)."""
+    return float(m) * m * n
+
+
+def trsv(n: int) -> float:
+    """Triangular solve with a single right-hand side."""
+    return float(n) * n
+
+
+def posv(n: int, nrhs: int) -> float:
+    """Cholesky-based solve ``A^-1 B``: factorize plus two triangular solves."""
+    return cholesky(n) + 2.0 * trsm(n, nrhs)
+
+
+def sysv(n: int, nrhs: int) -> float:
+    """LDL^T-based symmetric-indefinite solve."""
+    return ldlt(n) + 2.0 * trsm(n, nrhs)
+
+
+def gesv(n: int, nrhs: int) -> float:
+    """LU-based general solve ``A^-1 B``."""
+    return lu(n) + 2.0 * trsm(n, nrhs)
+
+
+def posv_vector(n: int) -> float:
+    return posv(n, 1)
+
+
+def gesv_vector(n: int) -> float:
+    return gesv(n, 1)
+
+
+# -- explicit inversion -----------------------------------------------------
+
+def getri(n: int) -> float:
+    """Explicit inversion of a general matrix (LU + inverse): ``2 n^3``."""
+    return 2.0 * (n ** 3)
+
+
+def potri(n: int) -> float:
+    """Explicit inversion of an SPD matrix via Cholesky."""
+    return cholesky(n) + 2.0 * (n ** 3) / 3.0
+
+
+def trtri(n: int) -> float:
+    """Explicit inversion of a triangular matrix."""
+    return (n ** 3) / 3.0
+
+
+def diaginv(n: int) -> float:
+    """Explicit inversion of a diagonal matrix."""
+    return float(n)
+
+
+def transpose_copy(m: int, n: int) -> float:
+    """Explicit out-of-place transposition moves data but performs no FLOPs."""
+    return 0.0

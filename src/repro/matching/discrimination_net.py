@@ -1,0 +1,196 @@
+"""A discrimination net for many-to-one syntactic pattern matching.
+
+A discrimination net indexes a *set* of patterns in a trie keyed by the
+preorder traversal of the pattern trees, so that matching a subject
+expression against all patterns requires a single walk over the subject
+instead of one walk per pattern.  This is the data structure the paper's
+reference implementation obtains from MatchPy (Section 3.1, citing
+Christian 1993 and Graef 1991) and is what makes the per-split matching cost
+of the GMC algorithm independent of the number of kernels (Section 3.4).
+
+Implementation notes
+--------------------
+* Every expression node is flattened to a token: operator nodes become
+  ``(class name, arity)``; concrete leaves become ``("leaf", key)``; pattern
+  wildcards become the special token ``"*"`` which, during matching, consumes
+  an entire subject subtree.
+* Because several patterns can share prefixes, and because at any point both
+  a wildcard edge and an exact edge may be applicable, matching performs a
+  depth-first search over net states.  The net's depth is bounded by the
+  pattern size, which for GMC kernels is a small constant, so each match is
+  O(1) with respect to both the number of patterns and the chain length.
+* Non-linear patterns (repeated wildcard names, e.g. SYRK's ``X^T X``) and
+  per-pattern constraints are checked at acceptance time on the collected
+  bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..algebra.expression import Expression
+from ..algebra.operators import Inverse, InverseTranspose, Plus, Times, Transpose
+from .patterns import Pattern, Substitution, Wildcard
+
+_WILDCARD_TOKEN = "*"
+
+_OPERATOR_TYPES = (Times, Plus, Transpose, Inverse, InverseTranspose)
+
+
+def _node_token(node: Expression) -> Tuple:
+    """Flatten one expression node to a hashable trie token."""
+    if isinstance(node, _OPERATOR_TYPES):
+        return (type(node).__name__, len(node.children))
+    return ("leaf", type(node).__name__, node._key())
+
+
+def _flatten_pattern(expression: Expression) -> Tuple[List, List[Optional[str]]]:
+    """Return the token sequence of a pattern and the wildcard name per slot.
+
+    The wildcard-name list is parallel to the token list; non-wildcard
+    positions hold ``None``.
+    """
+    tokens: List = []
+    names: List[Optional[str]] = []
+
+    def visit(node: Expression) -> None:
+        if isinstance(node, Wildcard):
+            tokens.append(_WILDCARD_TOKEN)
+            names.append(node.name)
+            return
+        tokens.append(_node_token(node))
+        names.append(None)
+        for child in node.children:
+            visit(child)
+
+    visit(expression)
+    return tokens, names
+
+
+def _flatten_subject(expression: Expression) -> Tuple[List[Expression], List[int]]:
+    """Preorder node list of the subject plus the subtree size of each node.
+
+    The subtree sizes let a wildcard edge skip a whole subtree in O(1).
+    """
+    nodes: List[Expression] = []
+    sizes: List[int] = []
+
+    def visit(node: Expression) -> int:
+        index = len(nodes)
+        nodes.append(node)
+        sizes.append(1)
+        total = 1
+        for child in node.children:
+            total += visit(child)
+        sizes[index] = total
+        return total
+
+    visit(expression)
+    return nodes, sizes
+
+
+@dataclass
+class _Node:
+    """One trie node of the discrimination net."""
+
+    edges: Dict[object, "_Node"] = field(default_factory=dict)
+    wildcard_edge: Optional["_Node"] = None
+    #: Patterns accepted at this node, together with their per-slot wildcard
+    #: names (parallel to the token sequence) and their payloads.
+    accepts: List[Tuple[Pattern, List[Optional[str]], object]] = field(default_factory=list)
+
+
+class DiscriminationNet:
+    """Many-to-one matcher over a fixed set of patterns.
+
+    Each pattern may carry an arbitrary *payload* (for the GMC algorithm the
+    payload is the kernel the pattern belongs to); :meth:`match` yields
+    ``(pattern, substitution, payload)`` triples.
+    """
+
+    def __init__(self, patterns: Sequence[Tuple[Pattern, object]] = ()) -> None:
+        self._root = _Node()
+        self._size = 0
+        for pattern, payload in patterns:
+            self.add(pattern, payload)
+
+    def __len__(self) -> int:
+        return self._size
+
+    def add(self, pattern: Pattern, payload: object = None) -> None:
+        """Insert a pattern (with an optional payload) into the net."""
+        tokens, names = _flatten_pattern(pattern.expression)
+        node = self._root
+        for token in tokens:
+            if token == _WILDCARD_TOKEN:
+                if node.wildcard_edge is None:
+                    node.wildcard_edge = _Node()
+                node = node.wildcard_edge
+            else:
+                node = node.edges.setdefault(token, _Node())
+        node.accepts.append((pattern, names, payload))
+        self._size += 1
+
+    # ------------------------------------------------------------------ match
+    def match(self, subject: Expression) -> Iterator[Tuple[Pattern, Substitution, object]]:
+        """Yield every pattern of the net that matches *subject*."""
+        nodes, sizes = _flatten_subject(subject)
+        total = len(nodes)
+
+        # Depth-first search over (net node, subject position, bindings).
+        # ``bindings`` is the list of subject sub-expressions consumed by
+        # wildcard edges, in pattern preorder order.
+        stack: List[Tuple[_Node, int, Tuple[Expression, ...]]] = [(self._root, 0, ())]
+        while stack:
+            net_node, position, bindings = stack.pop()
+            if position == total:
+                for pattern, names, payload in net_node.accepts:
+                    substitution = self._bind(pattern, names, bindings)
+                    if substitution is not None:
+                        yield pattern, substitution, payload
+                continue
+            subject_node = nodes[position]
+            token = _node_token(subject_node)
+            exact_next = net_node.edges.get(token)
+            if exact_next is not None:
+                stack.append((exact_next, position + 1, bindings))
+            if net_node.wildcard_edge is not None:
+                skip = sizes[position]
+                stack.append(
+                    (net_node.wildcard_edge, position + skip, bindings + (subject_node,))
+                )
+
+    def _bind(
+        self,
+        pattern: Pattern,
+        names: List[Optional[str]],
+        bindings: Tuple[Expression, ...],
+    ) -> Optional[Substitution]:
+        """Turn the collected wildcard bindings into a substitution and check
+        wildcard predicates, non-linear consistency and pattern constraints."""
+        wildcard_names = [name for name in names if name is not None]
+        if len(wildcard_names) != len(bindings):
+            return None
+        substitution: Optional[Substitution] = Substitution()
+        wildcards_by_name = {
+            node.name: node
+            for node in pattern.expression.preorder()
+            if isinstance(node, Wildcard)
+        }
+        for name, expr in zip(wildcard_names, bindings):
+            wildcard = wildcards_by_name.get(name)
+            if wildcard is not None and not wildcard.admits(expr):
+                return None
+            substitution = substitution.extended(name, expr)
+            if substitution is None:
+                return None
+        if not pattern.check_constraints(substitution):
+            return None
+        return substitution
+
+    def match_first(self, subject: Expression) -> Optional[Tuple[Pattern, Substitution, object]]:
+        """Return an arbitrary successful match, or ``None``."""
+        for result in self.match(subject):
+            return result
+        return None

@@ -1,0 +1,237 @@
+"""Patterns, wildcards and substitutions for syntactic expression matching.
+
+The GMC algorithm selects kernels by *many-to-one syntactic pattern
+matching* (paper Section 3.1): the set of patterns is the kernel catalog, and
+for each candidate sub-expression the matcher reports which kernels apply.
+The reference implementation uses the MatchPy library; this module is a
+self-contained replacement providing exactly the functionality GMC needs:
+
+* :class:`Wildcard` -- a pattern leaf that matches any expression and binds
+  it to a name; the same name may occur several times (non-linear patterns
+  such as the SYRK pattern ``X^T X``), in which case all occurrences must
+  bind to structurally equal expressions.
+* :class:`Substitution` -- an immutable mapping from wildcard names to the
+  matched sub-expressions.
+* :class:`Pattern` -- a pattern expression plus a set of constraints that the
+  substitution must satisfy (for example "the operand bound to X is lower
+  triangular").
+* :func:`match` / :func:`matches` -- match a single pattern against a subject
+  expression.
+
+Matching is purely syntactic: operator types and arities must agree.  This is
+sufficient for the bounded expressions produced by the GMC algorithm (trees
+of at most five nodes, Section 3.4) and keeps each match O(pattern size).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.expression import Expression, Matrix
+from ..algebra.operators import Inverse, InverseTranspose, Plus, Times, Transpose
+
+
+class Wildcard(Expression):
+    """A pattern leaf matching any expression.
+
+    Parameters
+    ----------
+    name:
+        Binding name; equal names within one pattern must bind to equal
+        sub-expressions.
+    predicate:
+        Optional per-wildcard predicate evaluated on the candidate
+        sub-expression before binding.
+    """
+
+    __slots__ = ("name", "predicate")
+
+    def __init__(
+        self,
+        name: str,
+        predicate: Optional[Callable[[Expression], bool]] = None,
+    ) -> None:
+        if not name:
+            raise ValueError("wildcard name must be non-empty")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "predicate", predicate)
+
+    def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
+        raise AttributeError("Wildcard instances are immutable")
+
+    @property
+    def rows(self) -> None:
+        return None
+
+    @property
+    def columns(self) -> None:
+        return None
+
+    def admits(self, expr: Expression) -> bool:
+        """True when this wildcard may bind to *expr*."""
+        if self.predicate is None:
+            return True
+        return bool(self.predicate(expr))
+
+    def _key(self) -> Tuple:
+        return (self.name,)
+
+    def __str__(self) -> str:
+        return f"_{self.name}"
+
+
+class Substitution(Mapping[str, Expression]):
+    """An immutable mapping from wildcard names to matched expressions."""
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[str, Expression]] = None) -> None:
+        self._bindings: Dict[str, Expression] = dict(bindings or {})
+
+    def __getitem__(self, key: str) -> Expression:
+        return self._bindings[key]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def extended(self, name: str, expr: Expression) -> Optional["Substitution"]:
+        """Return a new substitution with ``name -> expr`` added.
+
+        Returns ``None`` when *name* is already bound to a different
+        expression (non-linear pattern conflict).
+        """
+        existing = self._bindings.get(name)
+        if existing is not None:
+            return self if existing == expr else None
+        merged = dict(self._bindings)
+        merged[name] = expr
+        return Substitution(merged)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{name}={expr}" for name, expr in sorted(self._bindings.items()))
+        return f"Substitution({inner})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Substitution):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+
+class Constraint:
+    """A named predicate over a :class:`Substitution`.
+
+    Constraints express kernel applicability conditions such as
+    "``is_lower_triangular(X)``" from Table 1 of the paper.
+    """
+
+    def __init__(
+        self,
+        predicate: Callable[[Substitution], bool],
+        description: str = "",
+    ) -> None:
+        self._predicate = predicate
+        self.description = description or getattr(predicate, "__name__", "constraint")
+
+    def __call__(self, substitution: Substitution) -> bool:
+        return bool(self._predicate(substitution))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Constraint({self.description})"
+
+
+def property_constraint(wildcard_name: str, prop) -> Constraint:
+    """Build a constraint requiring the operand bound to *wildcard_name*
+    to have (symbolically inferable) property *prop*."""
+    from ..algebra.inference import has_property
+
+    def predicate(substitution: Substitution) -> bool:
+        expr = substitution.get(wildcard_name)
+        if expr is None:
+            return False
+        return has_property(expr, prop)
+
+    return Constraint(predicate, f"{prop.name.lower()}({wildcard_name})")
+
+
+class Pattern:
+    """A pattern expression together with its applicability constraints."""
+
+    def __init__(
+        self,
+        expression: Expression,
+        constraints: Sequence[Constraint] = (),
+        name: Optional[str] = None,
+    ) -> None:
+        self.expression = expression
+        self.constraints = tuple(constraints)
+        self.name = name or str(expression)
+
+    @property
+    def wildcard_names(self) -> Tuple[str, ...]:
+        names = []
+        for node in self.expression.preorder():
+            if isinstance(node, Wildcard) and node.name not in names:
+                names.append(node.name)
+        return tuple(names)
+
+    def check_constraints(self, substitution: Substitution) -> bool:
+        return all(constraint(substitution) for constraint in self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Pattern({self.expression}, name={self.name!r})"
+
+
+# ---------------------------------------------------------------------------
+# Single-pattern matching
+# ---------------------------------------------------------------------------
+
+_OPERATOR_TYPES = (Times, Plus, Transpose, Inverse, InverseTranspose)
+
+
+def _match_node(
+    pattern: Expression, subject: Expression, substitution: Substitution
+) -> Optional[Substitution]:
+    if isinstance(pattern, Wildcard):
+        if not pattern.admits(subject):
+            return None
+        return substitution.extended(pattern.name, subject)
+    if isinstance(pattern, _OPERATOR_TYPES):
+        if type(subject) is not type(pattern):
+            return None
+        if len(pattern.children) != len(subject.children):
+            return None
+        current: Optional[Substitution] = substitution
+        for pattern_child, subject_child in zip(pattern.children, subject.children):
+            current = _match_node(pattern_child, subject_child, current)
+            if current is None:
+                return None
+        return current
+    # Concrete leaf in the pattern: require structural equality.
+    if pattern == subject:
+        return substitution
+    return None
+
+
+def match(pattern: Pattern, subject: Expression) -> Optional[Substitution]:
+    """Match *pattern* against *subject*.
+
+    Returns the substitution when the match succeeds (including all pattern
+    constraints), otherwise ``None``.
+    """
+    substitution = _match_node(pattern.expression, subject, Substitution())
+    if substitution is None:
+        return None
+    if not pattern.check_constraints(substitution):
+        return None
+    return substitution
+
+
+def matches(pattern: Pattern, subject: Expression) -> bool:
+    """Boolean convenience wrapper around :func:`match`."""
+    return match(pattern, subject) is not None

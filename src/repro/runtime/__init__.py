@@ -1,0 +1,34 @@
+"""NumPy execution backend: kernels, executor, operand instantiation, timing.
+
+This package substitutes for the MKL-backed Julia testbed of the paper's
+evaluation: generated kernel programs are interpreted on NumPy arrays that
+honour the declared operand properties, validated against a direct reference
+evaluation, and timed.
+"""
+
+from .executor import ExecutionError, Executor, execute_program
+from .operands import (
+    chain_operands,
+    instantiate_expression,
+    instantiate_matrix,
+    instantiate_operands,
+)
+from .reference import ReferenceEvaluationError, allclose, evaluate
+from .timing import TimingResult, estimate_time, time_callable, time_program
+
+__all__ = [
+    "Executor",
+    "ExecutionError",
+    "execute_program",
+    "instantiate_matrix",
+    "instantiate_operands",
+    "instantiate_expression",
+    "chain_operands",
+    "evaluate",
+    "allclose",
+    "ReferenceEvaluationError",
+    "TimingResult",
+    "time_program",
+    "time_callable",
+    "estimate_time",
+]

@@ -1,0 +1,97 @@
+"""Random instantiation of operands that honour their declared properties.
+
+The experiments execute generated programs on concrete data; this module
+produces NumPy arrays matching a symbolic operand's shape and structural
+properties (diagonal, triangular, symmetric, SPD, ...).  Inverted operands
+are made safely non-singular by diagonal dominance so that solves and
+explicit inversions are well-conditioned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+import numpy as np
+
+from ..algebra.expression import Expression, Matrix
+from ..algebra.properties import Property
+
+
+def instantiate_matrix(
+    operand: Matrix, rng: Optional[np.random.Generator] = None
+) -> np.ndarray:
+    """Create a random NumPy array with the operand's shape and properties."""
+    rng = rng or np.random.default_rng()
+    rows, columns = operand.rows, operand.columns
+    properties = operand.properties
+    if Property.ZERO in properties:
+        return np.zeros((rows, columns))
+    if Property.IDENTITY in properties:
+        return np.eye(rows)
+    base = rng.standard_normal((rows, columns))
+    if Property.DIAGONAL in properties:
+        diagonal = rng.standard_normal(rows)
+        # Keep diagonal entries away from zero so the operand stays invertible.
+        diagonal = np.sign(diagonal) * (np.abs(diagonal) + 1.0)
+        return np.diag(diagonal)
+    if Property.SPD in properties:
+        spd = base @ base.T
+        return spd + rows * np.eye(rows)
+    if Property.SYMMETRIC in properties:
+        symmetric = (base + base.T) / 2.0
+        return symmetric + rows * np.eye(rows)
+    if Property.LOWER_TRIANGULAR in properties:
+        lower = np.tril(base)
+        np.fill_diagonal(lower, np.abs(np.diag(lower)) + 1.0)
+        if Property.UNIT_DIAGONAL in properties:
+            np.fill_diagonal(lower, 1.0)
+        return lower
+    if Property.UPPER_TRIANGULAR in properties:
+        upper = np.triu(base)
+        np.fill_diagonal(upper, np.abs(np.diag(upper)) + 1.0)
+        if Property.UNIT_DIAGONAL in properties:
+            np.fill_diagonal(upper, 1.0)
+        return upper
+    if Property.ORTHOGONAL in properties:
+        q, _ = np.linalg.qr(rng.standard_normal((rows, rows)))
+        return q
+    if rows == columns and Property.NON_SINGULAR in properties:
+        return base + rows * np.eye(rows)
+    return base
+
+
+def instantiate_operands(
+    operands: Iterable[Matrix], rng: Optional[np.random.Generator] = None, seed: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Instantiate a collection of operands into a name -> array environment."""
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    environment: Dict[str, np.ndarray] = {}
+    for operand in operands:
+        if operand.name not in environment:
+            environment[operand.name] = instantiate_matrix(operand, rng)
+    return environment
+
+
+def chain_operands(expression: Expression) -> Dict[str, Matrix]:
+    """Collect the distinct leaf operands of an expression by name."""
+    operands: Dict[str, Matrix] = {}
+    for leaf in expression.leaves():
+        if isinstance(leaf, Matrix) and leaf.name not in operands:
+            operands[leaf.name] = leaf
+    return operands
+
+
+def instantiate_expression(
+    expression: Expression, seed: Optional[int] = None
+) -> Dict[str, np.ndarray]:
+    """Instantiate every leaf operand of an expression."""
+    rng = np.random.default_rng(seed)
+    return instantiate_operands(chain_operands(expression).values(), rng=rng)
+
+
+def scale_environment(
+    environment: Mapping[str, np.ndarray], factor: float
+) -> Dict[str, np.ndarray]:
+    """Uniformly scale every operand (useful for conditioning experiments)."""
+    return {name: value * factor for name, value in environment.items()}

@@ -1,0 +1,61 @@
+"""Reference (direct) numerical evaluation of symbolic expressions.
+
+Used by the tests and the experiment harness as the ground truth against
+which generated programs are validated: an expression tree is evaluated
+recursively with plain NumPy operations (explicit inverses, explicit
+transposes, left-to-right products), with no regard for efficiency.
+"""
+
+from __future__ import annotations
+
+from functools import reduce
+from typing import Mapping
+
+import numpy as np
+
+from ..algebra.expression import Expression, Matrix
+from ..algebra.operators import Inverse, InverseTranspose, Plus, Times, Transpose
+
+
+class ReferenceEvaluationError(RuntimeError):
+    """Raised when an expression cannot be evaluated against the environment."""
+
+
+def evaluate(expression: Expression, environment: Mapping[str, np.ndarray]) -> np.ndarray:
+    """Evaluate *expression* directly with NumPy."""
+    if isinstance(expression, Matrix):
+        try:
+            return np.asarray(environment[expression.name], dtype=float)
+        except KeyError as exc:
+            raise ReferenceEvaluationError(
+                f"no value bound for operand {expression.name!r}"
+            ) from exc
+    if isinstance(expression, Transpose):
+        return evaluate(expression.operand, environment).T
+    if isinstance(expression, Inverse):
+        return np.linalg.inv(evaluate(expression.operand, environment))
+    if isinstance(expression, InverseTranspose):
+        return np.linalg.inv(evaluate(expression.operand, environment)).T
+    if isinstance(expression, Times):
+        values = [evaluate(child, environment) for child in expression.children]
+        return reduce(lambda left, right: left @ right, values)
+    if isinstance(expression, Plus):
+        values = [evaluate(child, environment) for child in expression.children]
+        return reduce(lambda left, right: left + right, values)
+    raise ReferenceEvaluationError(f"cannot evaluate expression node {expression!r}")
+
+
+def allclose(
+    expression: Expression,
+    environment: Mapping[str, np.ndarray],
+    candidate: np.ndarray,
+    rtol: float = 1e-8,
+    atol: float = 1e-8,
+) -> bool:
+    """Check a candidate result against the reference evaluation."""
+    reference = evaluate(expression, environment)
+    candidate = np.asarray(candidate, dtype=float)
+    if reference.shape != candidate.shape:
+        reference = reference.reshape(candidate.shape)
+    scale = max(1.0, float(np.max(np.abs(reference))))
+    return bool(np.allclose(reference, candidate, rtol=rtol, atol=atol * scale))

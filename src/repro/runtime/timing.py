@@ -1,0 +1,91 @@
+"""Wall-clock measurement of generated programs.
+
+The paper's evaluation reports execution times of the generated Julia code
+and of the competing libraries, taking the best out of repeated runs (for the
+Section 3.3 example) or averaging repetitions (Section 4).  This module
+provides the equivalent measurement utilities for programs executed through
+the NumPy runtime.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..kernels.kernel import Program
+from .executor import Executor
+
+
+@dataclass(frozen=True)
+class TimingResult:
+    """Timing statistics of repeated program executions (seconds)."""
+
+    best: float
+    mean: float
+    worst: float
+    repetitions: int
+
+    def __str__(self) -> str:
+        return (
+            f"best {self.best * 1e3:.3f} ms, mean {self.mean * 1e3:.3f} ms over "
+            f"{self.repetitions} repetitions"
+        )
+
+
+def time_program(
+    program: Program,
+    environment: Mapping[str, np.ndarray],
+    repetitions: int = 3,
+    warmup: int = 1,
+) -> TimingResult:
+    """Execute *program* repeatedly and report timing statistics."""
+    if repetitions < 1:
+        raise ValueError("repetitions must be at least 1")
+    executor = Executor()
+    for _ in range(max(0, warmup)):
+        executor.execute(program, environment)
+    samples = []
+    for _ in range(repetitions):
+        executor = Executor()
+        start = time.perf_counter()
+        executor.execute(program, environment)
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        best=min(samples),
+        mean=sum(samples) / len(samples),
+        worst=max(samples),
+        repetitions=repetitions,
+    )
+
+
+def time_callable(function, repetitions: int = 3, warmup: int = 1) -> TimingResult:
+    """Time an arbitrary zero-argument callable (used for generation time)."""
+    for _ in range(max(0, warmup)):
+        function()
+    samples = []
+    for _ in range(repetitions):
+        start = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - start)
+    return TimingResult(
+        best=min(samples),
+        mean=sum(samples) / len(samples),
+        worst=max(samples),
+        repetitions=repetitions,
+    )
+
+
+def estimate_time(program: Program, metric: Optional[object] = None) -> float:
+    """Modelled (not measured) execution time of a program.
+
+    Uses the performance cost metric to sum per-kernel time estimates; this
+    is the size-independent counterpart to :func:`time_program` used when the
+    paper-scale operand sizes would make measurement too slow.
+    """
+    from ..cost.metrics import PerformanceMetric
+
+    model = metric if metric is not None else PerformanceMetric()
+    return sum(model.kernel_cost(call.kernel, call.substitution) for call in program.calls)

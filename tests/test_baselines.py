@@ -1,0 +1,170 @@
+"""Tests for the baseline library simulators (paper Section 4)."""
+
+import pytest
+
+from repro.algebra import Inverse, Matrix, Property, Times, Transpose, Vector
+from repro.baselines import (
+    ARMADILLO_NAIVE,
+    ARMADILLO_RECOMMENDED,
+    BLAZE_NAIVE,
+    EIGEN_NAIVE,
+    EIGEN_RECOMMENDED,
+    JULIA_NAIVE,
+    JULIA_RECOMMENDED,
+    MATLAB_NAIVE,
+    MATLAB_RECOMMENDED,
+    EvaluationStrategy,
+    baseline_strategies,
+    build_gmc_program,
+    strategy_by_name,
+)
+from repro.runtime import allclose, execute_program, instantiate_expression
+
+
+def _table2_expression(n=40, m=30):
+    a = Matrix("A", n, n, {Property.SPD})
+    b = Matrix("B", n, m)
+    c = Matrix("C", m, m, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+    return Times(Inverse(a), b, Transpose(c))
+
+
+class TestRegistry:
+    def test_nine_baselines(self):
+        assert len(baseline_strategies()) == 9
+
+    def test_labels_match_figure8(self):
+        labels = [strategy.label for strategy in baseline_strategies()]
+        assert labels == ["Jl n", "Jl r", "Arma n", "Arma r", "Eig n", "Eig r", "Bl n", "Mat n", "Mat r"]
+
+    def test_lookup_by_name_and_label(self):
+        assert strategy_by_name("julia_naive") is JULIA_NAIVE
+        assert strategy_by_name("Arma r") is ARMADILLO_RECOMMENDED
+
+    def test_unknown_strategy_raises(self):
+        with pytest.raises(KeyError):
+            strategy_by_name("octave")
+
+    def test_invalid_parenthesization_policy_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationStrategy(name="x", label="x", library="X", parenthesization="zigzag")
+
+
+class TestInverseHandling:
+    def test_naive_strategies_invert_explicitly(self):
+        expression = _table2_expression()
+        for strategy in (JULIA_NAIVE, EIGEN_NAIVE, MATLAB_NAIVE, BLAZE_NAIVE, ARMADILLO_NAIVE):
+            program = strategy.build_program(expression)
+            assert program.kernel_names[0] in ("GETRI", "POTRI"), strategy.name
+
+    def test_recommended_strategies_solve(self):
+        expression = _table2_expression()
+        for strategy in (JULIA_RECOMMENDED, EIGEN_RECOMMENDED, MATLAB_RECOMMENDED, ARMADILLO_RECOMMENDED):
+            program = strategy.build_program(expression)
+            assert "GETRI" not in program.kernel_names
+            assert any(name in ("POSV", "GESV", "SYSV", "TRSM") for name in program.kernel_names)
+
+    def test_armadillo_naive_uses_inv_sympd(self):
+        program = ARMADILLO_NAIVE.build_program(_table2_expression())
+        assert program.kernel_names[0] == "POTRI"
+
+    def test_julia_naive_uses_general_inverse(self):
+        program = JULIA_NAIVE.build_program(_table2_expression())
+        assert program.kernel_names[0] == "GETRI"
+
+    def test_recommended_spd_solve_uses_posv_when_typed(self):
+        expression = _table2_expression()
+        assert "POSV" in JULIA_RECOMMENDED.build_program(expression).kernel_names
+        assert "POSV" in EIGEN_RECOMMENDED.build_program(expression).kernel_names
+        # Armadillo's solve() with solve_opts::fast does not test for SPD.
+        assert "POSV" not in ARMADILLO_RECOMMENDED.build_program(expression).kernel_names
+
+
+class TestPropertyVisibility:
+    def test_matlab_products_ignore_structure(self):
+        lower = Matrix("L", 20, 20, {Property.LOWER_TRIANGULAR})
+        b = Matrix("B", 20, 10)
+        program = MATLAB_NAIVE.build_program(Times(lower, b))
+        assert program.kernel_names == ("GEMM",)
+
+    def test_julia_products_use_typed_triangular_kernels(self):
+        lower = Matrix("L", 20, 20, {Property.LOWER_TRIANGULAR})
+        b = Matrix("B", 20, 10)
+        program = JULIA_NAIVE.build_program(Times(lower, b))
+        assert program.kernel_names == ("TRMM",)
+
+    def test_eigen_naive_ignores_views(self):
+        lower = Matrix("L", 20, 20, {Property.LOWER_TRIANGULAR})
+        b = Matrix("B", 20, 10)
+        assert EIGEN_NAIVE.build_program(Times(lower, b)).kernel_names == ("GEMM",)
+        assert EIGEN_RECOMMENDED.build_program(Times(lower, b)).kernel_names == ("TRMM",)
+
+    def test_blaze_adaptors_enable_symmetric_products(self):
+        s = Matrix("S", 20, 20, {Property.SYMMETRIC})
+        b = Matrix("B", 20, 10)
+        assert BLAZE_NAIVE.build_program(Times(s, b)).kernel_names == ("SYMM",)
+
+
+class TestParenthesization:
+    def test_left_to_right_baselines(self):
+        a = Matrix("A", 10, 200)
+        b = Matrix("B", 200, 10)
+        c = Matrix("C", 10, 200)
+        expression = Times(a, b, c)
+        # Optimal is (A B) C; left-to-right coincides here, so compare flops on
+        # a chain where left-to-right is clearly suboptimal instead.
+        expression_bad = Times(Transpose(a), Transpose(b), Transpose(c))
+        gmc = build_gmc_program(expression_bad).total_flops
+        julia = JULIA_NAIVE.build_program(expression_bad).total_flops
+        assert julia >= gmc
+
+    def test_blaze_reassociates_matrix_vector_chains(self):
+        m1 = Matrix("M1", 50, 40)
+        m2 = Matrix("M2", 40, 30)
+        v = Vector("v", 30)
+        blaze = BLAZE_NAIVE.build_program(Times(m1, m2, v))
+        julia = JULIA_NAIVE.build_program(Times(m1, m2, v))
+        assert blaze.total_flops < julia.total_flops
+        assert set(blaze.kernel_names) == {"GEMV"}
+
+    def test_armadillo_heuristic_handles_long_chains(self):
+        matrices = [Matrix(f"M{i}", 30 + 5 * i, 30 + 5 * (i + 1)) for i in range(6)]
+        program = ARMADILLO_NAIVE.build_program(Times(*matrices))
+        assert len(program.calls) == 5
+
+    def test_strategy_program_flops_never_beat_gmc(self):
+        expression = _table2_expression()
+        gmc_flops = build_gmc_program(expression).total_flops
+        for strategy in baseline_strategies():
+            assert strategy.build_program(expression).total_flops >= gmc_flops - 1e-6
+
+
+class TestNumericalCorrectness:
+    @pytest.mark.parametrize("strategy", baseline_strategies(), ids=lambda s: s.name)
+    def test_every_baseline_computes_the_right_value(self, strategy):
+        expression = _table2_expression()
+        env = instantiate_expression(expression, seed=5)
+        result = execute_program(strategy.build_program(expression), env)
+        assert allclose(expression, env, result, rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("strategy", baseline_strategies(), ids=lambda s: s.name)
+    def test_baselines_handle_vector_chains(self, strategy):
+        m1 = Matrix("M1", 30, 25)
+        m2 = Matrix("M2", 25, 20)
+        v1 = Vector("v1", 20)
+        v2 = Vector("v2", 15)
+        expression = Times(m1, m2, v1, Transpose(v2))
+        env = instantiate_expression(expression, seed=6)
+        result = execute_program(strategy.build_program(expression), env)
+        assert allclose(expression, env, result, rtol=1e-6, atol=1e-6)
+
+    @pytest.mark.parametrize("strategy", baseline_strategies(), ids=lambda s: s.name)
+    def test_baselines_handle_inverse_transpose(self, strategy):
+        lower = Matrix("L", 18, 18, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+        b = Matrix("B", 18, 9)
+        expression = Times(lower.invT, b)
+        env = instantiate_expression(expression, seed=8)
+        result = execute_program(strategy.build_program(expression), env)
+        assert allclose(expression, env, result, rtol=1e-6, atol=1e-6)
+
+    def test_strategy_label_str(self):
+        assert str(JULIA_NAIVE) == "Jl n"

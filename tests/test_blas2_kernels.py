@@ -1,0 +1,111 @@
+"""Tests for the structured level-2 kernels (TRMV, SYMV, TRSV) and for the
+tie-breaking rule that selects them for vector right-hand sides."""
+
+import pytest
+
+from repro.algebra import Inverse, Matrix, Property, Times, Vector
+from repro.core import GMCAlgorithm
+from repro.kernels import default_catalog
+
+
+@pytest.fixture(scope="module")
+def catalog():
+    return default_catalog()
+
+
+class TestCatalogContents:
+    def test_families_present(self, catalog):
+        families = set(catalog.families)
+        assert {"TRMV", "SYMV", "TRSV"} <= families
+
+    def test_variant_counts(self, catalog):
+        assert len(catalog.by_family("TRMV")) == 4
+        assert len(catalog.by_family("SYMV")) == 1
+        assert len(catalog.by_family("TRSV")) == 4
+
+    def test_excluded_from_generic_catalog(self):
+        generic = default_catalog(include_specialized=False)
+        assert "TRMV" not in generic.families
+        assert "TRSV" not in generic.families
+
+
+class TestMatching:
+    def test_trmv_matches_triangular_times_vector(self, catalog):
+        lower = Matrix("L", 9, 9, {Property.LOWER_TRIANGULAR})
+        v = Vector("v", 9)
+        names = {kernel.display_name for kernel, _ in catalog.match(Times(lower, v))}
+        assert "TRMV" in names
+        assert "TRMM" in names  # the level-3 kernel still matches as well
+
+    def test_symv_matches_symmetric_times_vector(self, catalog):
+        s = Matrix("S", 9, 9, {Property.SYMMETRIC})
+        v = Vector("v", 9)
+        names = {kernel.display_name for kernel, _ in catalog.match(Times(s, v))}
+        assert "SYMV" in names
+
+    def test_trsv_matches_triangular_solve_with_vector(self, catalog):
+        lower = Matrix("L", 9, 9, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+        v = Vector("v", 9)
+        names = {kernel.display_name for kernel, _ in catalog.match(Times(Inverse(lower), v))}
+        assert "TRSV" in names
+
+    def test_vector_kernels_do_not_match_matrix_right_hand_sides(self, catalog):
+        lower = Matrix("L", 9, 9, {Property.LOWER_TRIANGULAR})
+        b = Matrix("B", 9, 4)
+        names = {kernel.display_name for kernel, _ in catalog.match(Times(lower, b))}
+        assert "TRMV" not in names
+
+
+class TestSelection:
+    def test_gmc_prefers_trmv_for_vector_rhs(self):
+        lower = Matrix("L", 30, 30, {Property.LOWER_TRIANGULAR})
+        v = Vector("v", 30)
+        solution = GMCAlgorithm().solve(Times(lower, v))
+        assert solution.kernel_sequence() == ["TRMV"]
+
+    def test_gmc_prefers_trsv_for_vector_rhs(self):
+        lower = Matrix("L", 30, 30, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+        v = Vector("v", 30)
+        solution = GMCAlgorithm().solve(Times(Inverse(lower), v))
+        assert solution.kernel_sequence() == ["TRSV"]
+
+    def test_gmc_prefers_symv_for_vector_rhs(self):
+        s = Matrix("S", 30, 30, {Property.SYMMETRIC})
+        v = Vector("v", 30)
+        solution = GMCAlgorithm().solve(Times(s, v))
+        assert solution.kernel_sequence() == ["SYMV"]
+
+    def test_level2_and_level3_costs_agree(self, catalog):
+        """TRMV/TRSV cost exactly what TRMM/TRSM with one column cost."""
+        from repro.matching import Substitution
+
+        lower = Matrix("X", 40, 40, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+        v = Matrix("Y", 40, 1)
+        substitution = Substitution({"X": lower, "Y": v})
+        assert catalog.by_id("trmv_lower_n").flops(substitution) == catalog.by_id(
+            "trmm_l_lower_nn"
+        ).flops(substitution)
+        assert catalog.by_id("trsv_lower_i").flops(substitution) == catalog.by_id(
+            "trsm_lower_l_in"
+        ).flops(substitution)
+
+    def test_matrix_rhs_still_uses_level3_kernels(self):
+        lower = Matrix("L", 30, 30, {Property.LOWER_TRIANGULAR})
+        b = Matrix("B", 30, 12)
+        solution = GMCAlgorithm().solve(Times(lower, b))
+        assert solution.kernel_sequence() == ["TRMM"]
+
+
+class TestExecution:
+    def test_triangular_chain_with_vector_executes_correctly(self):
+        from repro.runtime import allclose, execute_program, instantiate_expression
+
+        lower = Matrix("L", 25, 25, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
+        s = Matrix("S", 25, 25, {Property.SYMMETRIC})
+        v = Vector("v", 25)
+        chain = Times(Inverse(lower), s, v)
+        program = GMCAlgorithm().generate(chain)
+        environment = instantiate_expression(chain, seed=9)
+        result = execute_program(program, environment)
+        assert allclose(chain, environment, result, rtol=1e-7, atol=1e-7)
+        assert set(program.kernel_names) <= {"TRSV", "SYMV", "TRMV", "GEMV"}

@@ -1,0 +1,113 @@
+"""Tests for the many-to-one discrimination-net matcher."""
+
+from repro.algebra import Inverse, Matrix, Property, Times, Transpose
+from repro.matching import DiscriminationNet, Pattern, Wildcard, property_constraint
+
+A = Matrix("A", 5, 5, {Property.LOWER_TRIANGULAR})
+B = Matrix("B", 5, 3)
+S = Matrix("S", 5, 5, {Property.SPD})
+
+
+def _patterns():
+    gemm = Pattern(Times(Wildcard("X"), Wildcard("Y")), name="gemm")
+    trmm = Pattern(
+        Times(Wildcard("X"), Wildcard("Y")),
+        constraints=[property_constraint("X", Property.LOWER_TRIANGULAR)],
+        name="trmm",
+    )
+    trsm = Pattern(
+        Times(Inverse(Wildcard("X")), Wildcard("Y")),
+        constraints=[property_constraint("X", Property.LOWER_TRIANGULAR)],
+        name="trsm",
+    )
+    gemm_tn = Pattern(Times(Transpose(Wildcard("X")), Wildcard("Y")), name="gemm_tn")
+    syrk = Pattern(Times(Transpose(Wildcard("X")), Wildcard("X")), name="syrk")
+    return [gemm, trmm, trsm, gemm_tn, syrk]
+
+
+class TestDiscriminationNet:
+    def test_size(self):
+        net = DiscriminationNet((pattern, pattern.name) for pattern in _patterns())
+        assert len(net) == 5
+
+    def test_multiple_patterns_match_same_subject(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        names = {payload for _, _, payload in net.match(Times(A, B))}
+        assert names == {"gemm", "trmm"}
+
+    def test_constraint_excludes_pattern(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        names = {payload for _, _, payload in net.match(Times(B, Matrix("C", 3, 3)))}
+        assert names == {"gemm"}
+
+    def test_unary_wrapped_subject(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        names = {payload for _, _, payload in net.match(Times(Inverse(A), B))}
+        # ``gemm``'s unrestricted wildcard binds X to the whole sub-tree A^-1
+        # and the inverse of a lower-triangular matrix is still lower
+        # triangular, so the generic ``trmm`` pattern matches as well; only
+        # the leaf-restricted wildcards of the real kernel catalog rule that
+        # out (covered in test_kernels.py).
+        assert names == {"gemm", "trmm", "trsm"}
+
+    def test_transposed_subject(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        names = {payload for _, _, payload in net.match(Times(Transpose(B), Matrix("C", 5, 4)))}
+        assert names == {"gemm", "gemm_tn"}
+
+    def test_nonlinear_pattern(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        names = {payload for _, _, payload in net.match(Times(Transpose(B), B))}
+        assert "syrk" in names
+        names_different = {
+            payload for _, _, payload in net.match(Times(Transpose(B), Matrix("B2", 5, 3)))
+        }
+        assert "syrk" not in names_different
+
+    def test_substitutions_are_returned(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        for _, substitution, payload in net.match(Times(A, B)):
+            assert substitution["X"] == A
+            assert substitution["Y"] == B
+
+    def test_no_match_for_single_leaf(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        assert list(net.match(A)) == []
+
+    def test_match_first(self):
+        net = DiscriminationNet((p, p.name) for p in _patterns())
+        assert net.match_first(Times(A, B)) is not None
+        assert net.match_first(Inverse(A)) is None
+
+    def test_incremental_add(self):
+        net = DiscriminationNet()
+        assert len(net) == 0
+        net.add(Pattern(Inverse(Wildcard("X")), name="inv"), "inv")
+        assert len(net) == 1
+        assert {p for _, _, p in net.match(Inverse(S))} == {"inv"}
+
+    def test_results_match_naive_matching(self):
+        """The net must agree with matching every pattern individually."""
+        from repro.matching import match as single_match
+
+        patterns = _patterns()
+        net = DiscriminationNet((p, p.name) for p in patterns)
+        subjects = [
+            Times(A, B),
+            Times(Inverse(A), B),
+            Times(Transpose(B), B),
+            Times(S, B),
+            Times(Transpose(B), Matrix("C", 5, 7)),
+            Inverse(S),
+            A,
+        ]
+        for subject in subjects:
+            net_names = {payload for _, _, payload in net.match(subject)}
+            naive_names = {p.name for p in patterns if single_match(p, subject) is not None}
+            assert net_names == naive_names
+
+    def test_wildcard_payloads_default_to_none(self):
+        net = DiscriminationNet()
+        net.add(Pattern(Wildcard("X"), name="any"))
+        results = list(net.match(A))
+        assert results[0][2] is None

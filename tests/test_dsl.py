@@ -1,0 +1,159 @@
+"""Tests for the textual DSL front-end (grammars of Fig. 1 and Fig. 2)."""
+
+import pytest
+
+from repro.algebra import (
+    Inverse,
+    InverseTranspose,
+    Matrix,
+    ParseError,
+    Plus,
+    Property,
+    Times,
+    Transpose,
+    parse_expression,
+    parse_program,
+)
+
+
+PROGRAM = """
+# Operand definitions (Fig. 2)
+Matrix A (100, 100) <SPD>
+Matrix B (100, 50) <>
+Matrix C (50, 50) <LowerTriangular>
+Vector x (50)
+
+# Assignment (Fig. 1)
+X := A^-1 * B * C^T
+y := A^-1 * B * x
+"""
+
+
+class TestDefinitions:
+    def test_operands_are_parsed(self):
+        program = parse_program(PROGRAM)
+        assert set(program.operands) == {"A", "B", "C", "x"}
+
+    def test_matrix_shape(self):
+        program = parse_program(PROGRAM)
+        assert program.operands["B"].shape == (100, 50)
+
+    def test_properties_attached(self):
+        program = parse_program(PROGRAM)
+        assert Property.SPD in program.operands["A"].properties
+        assert Property.LOWER_TRIANGULAR in program.operands["C"].properties
+
+    def test_vector_definition(self):
+        program = parse_program(PROGRAM)
+        x = program.operands["x"]
+        assert x.shape == (50, 1)
+
+    def test_square_shorthand(self):
+        program = parse_program("Matrix A (30) <Diagonal>")
+        assert program.operands["A"].shape == (30, 30)
+
+    def test_duplicate_definition_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("Matrix A (3, 3)\nMatrix A (4, 4)")
+
+    def test_unknown_property_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("Matrix A (3, 3) <Sparse>")
+
+    def test_general_placeholder_property_is_ignored(self):
+        program = parse_program("Matrix A (3, 4) <General>")
+        assert Property.SPD not in program.operands["A"].properties
+
+
+class TestExpressions:
+    def test_assignment_structure(self):
+        program = parse_program(PROGRAM)
+        assert len(program.assignments) == 2
+        target, expr = program.assignments[0]
+        assert target == "X"
+        assert isinstance(expr, Times)
+
+    def test_inverse_and_transpose_operators(self):
+        program = parse_program(PROGRAM)
+        expr = program.expression("X")
+        factors = expr.children
+        assert isinstance(factors[0], Inverse)
+        assert isinstance(factors[2], Transpose)
+
+    def test_expression_lookup_by_name(self):
+        program = parse_program(PROGRAM)
+        assert program.expression("y").shape == (100, 1)
+
+    def test_expression_single_assignment(self):
+        program = parse_program("Matrix A (5, 5)\nMatrix B (5, 5)\nX := A * B")
+        assert isinstance(program.expression(), Times)
+
+    def test_expression_requires_unique_assignment_when_unnamed(self):
+        program = parse_program(PROGRAM)
+        with pytest.raises(ParseError):
+            program.expression()
+
+    def test_prime_transpose_syntax(self):
+        operands = {"A": Matrix("A", 4, 5)}
+        expr = parse_expression("A'", operands)
+        assert expr == Transpose(operands["A"])
+
+    def test_inverse_transpose_operator(self):
+        operands = {"A": Matrix("A", 4, 4)}
+        expr = parse_expression("A^-T", operands)
+        assert expr == InverseTranspose(operands["A"])
+
+    def test_function_style_inv_and_trans(self):
+        operands = {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4)}
+        assert parse_expression("inv(A)", operands) == Inverse(operands["A"])
+        assert parse_expression("trans(B)", operands) == Transpose(operands["B"])
+
+    def test_plus(self):
+        operands = {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4)}
+        expr = parse_expression("A + B", operands)
+        assert isinstance(expr, Plus)
+
+    def test_parentheses(self):
+        operands = {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4), "C": Matrix("C", 4, 4)}
+        expr = parse_expression("(A + B) * C", operands)
+        assert isinstance(expr, Times)
+        assert isinstance(expr.children[0], Plus)
+
+    def test_implicit_multiplication(self):
+        operands = {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4)}
+        assert parse_expression("A B", operands) == Times(operands["A"], operands["B"])
+
+    def test_undefined_operand_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("A * Z", {"A": Matrix("A", 4, 4)})
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("A * B )", {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4)})
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            parse_expression("A $ B", {"A": Matrix("A", 4, 4), "B": Matrix("B", 4, 4)})
+
+    def test_shape_errors_surface_from_construction(self):
+        operands = {"A": Matrix("A", 4, 5), "B": Matrix("B", 4, 5)}
+        with pytest.raises(Exception):
+            parse_expression("A * B", operands)
+
+
+class TestProgramRoundTrip:
+    def test_parsed_expression_is_solvable(self):
+        from repro.core import solve_chain
+
+        program = parse_program(PROGRAM)
+        solution = solve_chain(program.expression("X"))
+        assert solution.computable
+        assert solution.total_flops > 0
+
+    def test_comment_only_lines_are_ignored(self):
+        program = parse_program("# nothing here\n\nMatrix A (3, 3)")
+        assert "A" in program.operands
+
+    def test_malformed_assignment_raises(self):
+        with pytest.raises(ParseError):
+            parse_program("Matrix A (3, 3)\nX = A")

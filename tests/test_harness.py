@@ -1,0 +1,186 @@
+"""Tests for the experiment harness and the figure/table reproductions."""
+
+import math
+
+import pytest
+
+from repro.baselines import baseline_strategies
+from repro.experiments.figures import figure8, figure9, generation_time
+from repro.experiments.harness import (
+    GMC_NAME,
+    HarnessConfig,
+    run_experiment,
+    run_problem,
+)
+from repro.experiments.tables import table1, table2
+from repro.experiments.tail_cases import left_to_right_analysis, vector_tail_analysis
+from repro.experiments.worked_examples import (
+    completeness_example,
+    section32_property_example,
+    section33_cost_function_example,
+)
+from repro.experiments.workload import ChainGenerator
+
+#: A small but representative batch used throughout these tests.
+_GENERATOR = ChainGenerator(
+    min_length=3, max_length=6, size_choices=(20, 40, 60), seed=123
+)
+_PROBLEMS = _GENERATOR.generate_many(8)
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    config = HarnessConfig(execute=True, validate=True, seed=0)
+    return run_experiment(_PROBLEMS, config=config)
+
+
+class TestRunProblem:
+    def test_all_strategies_present(self):
+        result = run_problem(_PROBLEMS[0])
+        assert GMC_NAME in result.results
+        for strategy in baseline_strategies():
+            assert strategy.name in result.results
+
+    def test_generation_time_recorded(self):
+        result = run_problem(_PROBLEMS[0])
+        assert result.generation_time > 0.0
+
+    def test_gmc_flops_never_worse_than_baselines(self):
+        for problem in _PROBLEMS:
+            result = run_problem(problem)
+            gmc_flops = result.gmc.flops
+            for name, strategy_result in result.results.items():
+                if name == GMC_NAME or strategy_result.failed:
+                    continue
+                assert strategy_result.flops >= gmc_flops - 1e-6
+
+    def test_speedup_over_baseline_is_at_least_one_for_modeled_time(self):
+        result = run_problem(_PROBLEMS[1])
+        for strategy in baseline_strategies():
+            speedup = result.speedup_over(strategy.name)
+            assert speedup is None or speedup >= 0.99
+
+    def test_fastest_strategy_returns_a_known_name(self):
+        result = run_problem(_PROBLEMS[2])
+        assert result.fastest_strategy() in result.results
+
+
+class TestExperimentResult:
+    def test_every_program_validates_numerically(self, experiment):
+        summary = experiment.correctness_summary()
+        for strategy, (correct, checked) in summary.items():
+            assert checked > 0, strategy
+            assert correct == checked, f"{strategy}: {correct}/{checked} correct"
+
+    def test_average_speedups_cover_all_baselines(self, experiment):
+        speedups = experiment.average_speedups()
+        assert set(speedups) == {s.name for s in baseline_strategies()}
+        assert all(value >= 0.99 for value in speedups.values())
+
+    def test_measured_speedups_are_positive(self, experiment):
+        speedups = experiment.average_speedups(use_measured=True)
+        assert all(value > 0.0 for value in speedups.values())
+
+    def test_execution_time_table_is_sorted_by_gmc(self, experiment):
+        rows = experiment.execution_time_table()
+        gmc_times = [row[GMC_NAME] for row in rows]
+        assert gmc_times == sorted(gmc_times)
+
+    def test_fraction_gmc_fastest_modeled_is_high(self, experiment):
+        assert experiment.fraction_gmc_fastest() >= 0.8
+
+    def test_worst_case_ratio_modeled_is_one(self, experiment):
+        assert experiment.worst_case_ratio() == pytest.approx(1.0)
+
+    def test_generation_time_statistics(self, experiment):
+        stats = experiment.generation_time_statistics()
+        assert 0.0 < stats["mean"] < 1.0
+        assert stats["max"] >= stats["mean"] >= stats["min"]
+
+
+class TestFigures:
+    def test_figure8_uses_prebuilt_experiment(self, experiment):
+        result = figure8(experiment=experiment)
+        assert result.name == "figure8"
+        assert "Figure 8" in result.text
+        assert result.data["overall_average"] >= 1.0
+
+    def test_figure9_statistics(self, experiment):
+        result = figure9(experiment=experiment)
+        data = result.data
+        assert 0.0 <= data["fraction_gmc_fastest"] <= 1.0
+        assert data["worst_case_ratio"] >= 1.0
+        assert "Figure 9" in result.text
+
+    def test_generation_time_figure(self):
+        result = generation_time(count=5, seed=1, full_scale=False)
+        assert result.data["count"] == 5
+        assert result.data["max"] < 1.0
+        assert "Generation-time" in result.text
+
+
+class TestTables:
+    def test_table1_rows_match_paper(self):
+        result = table1()
+        names = [row["name"] for row in result.rows]
+        assert names == ["GEMM", "TRMM", "SYMM", "TRSM", "SYRK"]
+        assert "Table 1" in result.text
+
+    def test_table2_gmc_row_uses_trmm_and_posv(self):
+        result = table2(n=60, m=40)
+        gmc_row = result.rows[0]
+        assert gmc_row["name"] == "GMC"
+        assert gmc_row["kernel_families"] == "TRMM -> POSV"
+
+    def test_table2_has_all_ten_rows(self):
+        result = table2(n=60, m=40)
+        assert len(result.rows) == 10
+        assert result.rows[0]["flops"] <= min(row["flops"] for row in result.rows[1:])
+
+    def test_table2_naive_rows_are_most_expensive(self):
+        result = table2(n=60, m=40)
+        flops = {row["name"]: row["flops"] for row in result.rows}
+        assert flops["Jl n"] > flops["Jl r"]
+        assert flops["Eig n"] > flops["Eig r"]
+
+
+class TestWorkedExamples:
+    def test_section32_numbers(self):
+        example = section32_property_example()
+        data = example.data
+        assert data["right_first_general"] == pytest.approx(24000)
+        assert data["left_first_general"] == pytest.approx(28000)
+        assert data["left_first_symm"] == pytest.approx(22000)
+        assert data["gmc_flops"] <= 22000
+        assert data["gmc_parenthesization"] == "((A^T * A) * B)"
+        assert data["gmc_generic_parenthesization"] == "(A^T * (A * B))"
+
+    def test_section33_numbers(self):
+        example = section33_cost_function_example()
+        data = example.data
+        assert data["flop_optimal_cost"] == pytest.approx(3.16e8, rel=0.01)
+        assert data["time_optimal_flops"] == pytest.approx(3.32e8, rel=0.01)
+        assert data["flop_optimal_parenthesization"] == "((((A * B) * C) * D) * E)"
+
+    def test_completeness_example(self):
+        example = completeness_example()
+        assert example.data["three_factor_computable"] is True
+        assert example.data["two_factor_computable"] is False
+        assert example.data["two_factor_with_gesv2_computable"] is True
+
+
+class TestTailCases:
+    def test_vector_tail_family_matches_heuristic_baselines(self):
+        analysis = vector_tail_analysis(count=3, seed=0)
+        for row in analysis.rows:
+            assert row["Arma n"] == pytest.approx(row["GMC"])
+            assert row["Bl n"] == pytest.approx(row["GMC"])
+            assert row["Jl n"] > row["GMC"]
+
+    def test_left_to_right_family_everyone_is_close_to_gmc(self):
+        """On chains where left-to-right is (nearly) optimal, every strategy
+        needs about the same FLOPs as GMC (Section 4 tail analysis)."""
+        analysis = left_to_right_analysis(count=3, seed=0)
+        for row in analysis.rows:
+            for label in ("Jl n", "Mat n", "Eig n"):
+                assert row[label] <= 1.2 * row["GMC"]

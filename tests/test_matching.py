@@ -1,0 +1,132 @@
+"""Tests for single-pattern matching: wildcards, substitutions, constraints."""
+
+import pytest
+
+from repro.algebra import Inverse, Matrix, Property, Times, Transpose
+from repro.matching import (
+    Constraint,
+    Pattern,
+    Substitution,
+    Wildcard,
+    match,
+    matches,
+    property_constraint,
+)
+
+A = Matrix("A", 5, 5, {Property.LOWER_TRIANGULAR})
+B = Matrix("B", 5, 3)
+C = Matrix("C", 3, 3)
+
+
+class TestWildcard:
+    def test_requires_name(self):
+        with pytest.raises(ValueError):
+            Wildcard("")
+
+    def test_unknown_shape(self):
+        w = Wildcard("X")
+        assert w.rows is None and w.columns is None
+
+    def test_admits_everything_without_predicate(self):
+        assert Wildcard("X").admits(A)
+
+    def test_admits_respects_predicate(self):
+        leaf_only = Wildcard("X", predicate=lambda e: isinstance(e, Matrix))
+        assert leaf_only.admits(A)
+        assert not leaf_only.admits(Times(A, B))
+
+    def test_equality_by_name(self):
+        assert Wildcard("X") == Wildcard("X")
+        assert Wildcard("X") != Wildcard("Y")
+
+    def test_str(self):
+        assert str(Wildcard("X")) == "_X"
+
+
+class TestSubstitution:
+    def test_mapping_interface(self):
+        s = Substitution({"X": A})
+        assert s["X"] is A
+        assert "X" in s
+        assert len(s) == 1
+        assert list(s) == ["X"]
+
+    def test_extended_adds_binding(self):
+        s = Substitution().extended("X", A)
+        assert s["X"] is A
+
+    def test_extended_conflict_returns_none(self):
+        s = Substitution({"X": A})
+        assert s.extended("X", B) is None
+
+    def test_extended_same_value_is_allowed(self):
+        s = Substitution({"X": A})
+        assert s.extended("X", Matrix("A", 5, 5, {Property.LOWER_TRIANGULAR})) is s
+
+    def test_equality_and_hash(self):
+        assert Substitution({"X": A}) == Substitution({"X": A})
+        assert hash(Substitution({"X": A})) == hash(Substitution({"X": A}))
+
+
+class TestMatching:
+    def test_wildcard_matches_anything(self):
+        pattern = Pattern(Wildcard("X"))
+        assert matches(pattern, A)
+        assert matches(pattern, Times(A, B))
+
+    def test_product_pattern(self):
+        pattern = Pattern(Times(Wildcard("X"), Wildcard("Y")))
+        substitution = match(pattern, Times(A, B))
+        assert substitution["X"] == A
+        assert substitution["Y"] == B
+
+    def test_structure_mismatch(self):
+        pattern = Pattern(Times(Wildcard("X"), Wildcard("Y")))
+        assert match(pattern, Transpose(A)) is None
+
+    def test_arity_mismatch(self):
+        pattern = Pattern(Times(Wildcard("X"), Wildcard("Y")))
+        assert match(pattern, Times(A, B, C)) is None
+
+    def test_unary_pattern(self):
+        pattern = Pattern(Inverse(Wildcard("X")))
+        assert match(pattern, Inverse(A))["X"] == A
+        assert match(pattern, Transpose(A)) is None
+
+    def test_nested_pattern(self):
+        pattern = Pattern(Times(Transpose(Wildcard("X")), Wildcard("Y")))
+        other = Matrix("D", 5, 4)
+        substitution = match(pattern, Times(Transpose(B), other))
+        assert substitution["X"] == B
+        assert substitution["Y"] == other
+
+    def test_nonlinear_pattern_requires_equal_bindings(self):
+        pattern = Pattern(Times(Transpose(Wildcard("X")), Wildcard("X")))
+        assert matches(pattern, Times(Transpose(B), B))
+        assert not matches(pattern, Times(Transpose(B), Matrix("B2", 5, 3)))
+
+    def test_concrete_leaf_in_pattern(self):
+        pattern = Pattern(Times(A, Wildcard("Y")))
+        assert matches(pattern, Times(A, B))
+        assert not matches(pattern, Times(Matrix("Z", 5, 5), B))
+
+    def test_constraint_filters_match(self):
+        lower_constraint = property_constraint("X", Property.LOWER_TRIANGULAR)
+        pattern = Pattern(Times(Wildcard("X"), Wildcard("Y")), constraints=[lower_constraint])
+        assert matches(pattern, Times(A, B))
+        assert not matches(pattern, Times(B, C))
+
+    def test_wildcard_predicate_blocks_match(self):
+        leaf_only = Wildcard("X", predicate=lambda e: isinstance(e, Matrix))
+        pattern = Pattern(Times(leaf_only, Wildcard("Y")))
+        assert not matches(pattern, Times(Inverse(A), B))
+
+    def test_custom_constraint(self):
+        big = Constraint(lambda s: (s["X"].rows or 0) > 10, "big")
+        pattern = Pattern(Wildcard("X"), constraints=[big])
+        assert not matches(pattern, A)
+        assert matches(pattern, Matrix("Big", 20, 20))
+
+    def test_wildcard_names_listed_once(self):
+        pattern = Pattern(Times(Transpose(Wildcard("X")), Wildcard("X")))
+        assert pattern.wildcard_names == ("X",)

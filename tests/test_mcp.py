@@ -1,0 +1,177 @@
+"""Tests for the classic matrix chain algorithms (paper Section 2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mcp import (
+    MatrixChainDP,
+    brute_force_optimal_cost,
+    catalan_number,
+    chin_heuristic,
+    enumerate_parenthesizations,
+    left_to_right_cost,
+    left_to_right_tree,
+    matrix_chain_order,
+    memoized_matrix_chain,
+    parenthesization_cost,
+    product_flops,
+    right_to_left_cost,
+    right_to_left_tree,
+)
+
+#: The classic CLRS teaching instance.
+CLRS_SIZES = [30, 35, 15, 5, 10, 20, 25]
+#: Its optimal cost in multiply-add pairs is 15125; the paper counts 2 FLOPs each.
+CLRS_OPTIMAL_FLOPS = 2 * 15125
+
+
+class TestMatrixChainOrder:
+    def test_clrs_instance(self):
+        costs, _ = matrix_chain_order(CLRS_SIZES)
+        assert costs[0][5] == CLRS_OPTIMAL_FLOPS
+
+    def test_single_matrix_costs_nothing(self):
+        dp = MatrixChainDP([10, 20])
+        assert dp.optimal_cost == 0.0
+
+    def test_two_matrices(self):
+        dp = MatrixChainDP([10, 20, 30])
+        assert dp.optimal_cost == product_flops(10, 20, 30)
+
+    def test_three_matrices_textbook_example(self):
+        dp = MatrixChainDP([10, 100, 5, 50])
+        assert dp.optimal_cost == 2 * (10 * 100 * 5 + 10 * 5 * 50)
+        assert dp.parenthesization() == "((M0 * M1) * M2)"
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            matrix_chain_order([10])
+        with pytest.raises(ValueError):
+            matrix_chain_order([10, 0, 5])
+
+    def test_agreement_with_memoized_variant(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            sizes = [rng.randint(1, 60) for _ in range(rng.randint(2, 9))]
+            costs, _ = matrix_chain_order(sizes)
+            assert costs[0][len(sizes) - 2] == memoized_matrix_chain(sizes)
+
+    def test_agreement_with_brute_force(self):
+        rng = random.Random(11)
+        for _ in range(15):
+            sizes = [rng.randint(1, 40) for _ in range(rng.randint(3, 8))]
+            costs, _ = matrix_chain_order(sizes)
+            assert costs[0][len(sizes) - 2] == pytest.approx(brute_force_optimal_cost(sizes))
+
+    def test_paper_section33_sizes(self):
+        """The ABCDE example of Section 3.3: optimal is 3.16e8 FLOPs."""
+        sizes = [130, 700, 383, 1340, 193, 900]
+        dp = MatrixChainDP(sizes)
+        assert dp.optimal_cost == pytest.approx(3.16e8, rel=0.01)
+        assert dp.parenthesization(["A", "B", "C", "D", "E"]) == "((((A * B) * C) * D) * E)"
+
+    def test_section33_time_optimal_tree_costs_332e8(self):
+        sizes = [130, 700, 383, 1340, 193, 900]
+        tree = (((0, 1), (2, 3)), 4)
+        assert parenthesization_cost(tree, sizes) == pytest.approx(3.32e8, rel=0.01)
+
+
+class TestTreesAndEnumeration:
+    def test_catalan_numbers(self):
+        assert [catalan_number(i) for i in range(6)] == [1, 1, 2, 5, 14, 42]
+
+    def test_enumeration_count_matches_catalan(self):
+        for n in range(1, 6):
+            trees = list(enumerate_parenthesizations(0, n - 1))
+            assert len(trees) == catalan_number(n - 1)
+
+    def test_left_to_right_tree_cost(self):
+        sizes = [5, 6, 7, 8]
+        assert parenthesization_cost(left_to_right_tree(3), sizes) == left_to_right_cost(sizes)
+
+    def test_right_to_left_tree_cost(self):
+        sizes = [5, 6, 7, 8]
+        assert parenthesization_cost(right_to_left_tree(3), sizes) == right_to_left_cost(sizes)
+
+    def test_nonconforming_tree_raises(self):
+        with pytest.raises(ValueError):
+            parenthesization_cost((1, 0), [5, 6, 7])
+
+    def test_multiplication_order_respects_dependencies(self):
+        dp = MatrixChainDP(CLRS_SIZES)
+        seen = set()
+        for i, k, j in dp.multiplication_order():
+            if i != k:
+                assert (i, dp.split(i, k), k) in seen or (i, k) == (i, i)
+            seen.add((i, k, j))
+        assert dp.multiplication_order()[-1][0] == 0
+        assert dp.multiplication_order()[-1][2] == len(CLRS_SIZES) - 2
+
+
+class TestHeuristicsAndOrders:
+    def test_left_to_right_is_never_better_than_optimal(self):
+        rng = random.Random(3)
+        for _ in range(25):
+            sizes = [rng.randint(1, 80) for _ in range(rng.randint(2, 9))]
+            dp = MatrixChainDP(sizes)
+            assert left_to_right_cost(sizes) >= dp.optimal_cost - 1e-9
+
+    def test_right_to_left_is_never_better_than_optimal(self):
+        rng = random.Random(4)
+        for _ in range(25):
+            sizes = [rng.randint(1, 80) for _ in range(rng.randint(2, 9))]
+            dp = MatrixChainDP(sizes)
+            assert right_to_left_cost(sizes) >= dp.optimal_cost - 1e-9
+
+    def test_chin_heuristic_is_valid_and_reasonable(self):
+        rng = random.Random(5)
+        for _ in range(25):
+            sizes = [rng.randint(1, 80) for _ in range(rng.randint(2, 8))]
+            cost, tree = chin_heuristic(sizes)
+            dp = MatrixChainDP(sizes)
+            assert cost == pytest.approx(parenthesization_cost(tree, sizes))
+            assert cost >= dp.optimal_cost - 1e-9
+            assert cost <= 2.0 * max(dp.optimal_cost, 1.0)
+
+    def test_chin_single_matrix(self):
+        cost, tree = chin_heuristic([10, 20])
+        assert cost == 0.0
+        assert tree == 0
+
+
+class TestPropertyBased:
+    @given(
+        st.lists(st.integers(min_value=1, max_value=60), min_size=3, max_size=8)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_dp_is_lower_bound_of_every_parenthesization(self, sizes):
+        dp = MatrixChainDP(sizes)
+        n = len(sizes) - 1
+        for tree in enumerate_parenthesizations(0, n - 1):
+            assert parenthesization_cost(tree, sizes) >= dp.optimal_cost - 1e-6
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=200), min_size=2, max_size=11)
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_dp_cost_is_achieved_by_its_own_tree(self, sizes):
+        dp = MatrixChainDP(sizes)
+        assert parenthesization_cost(dp.tree(), sizes) == pytest.approx(dp.optimal_cost)
+
+    @given(
+        st.lists(st.integers(min_value=1, max_value=200), min_size=2, max_size=10)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_memoized_equals_bottom_up(self, sizes):
+        costs, _ = matrix_chain_order(sizes)
+        assert memoized_matrix_chain(sizes) == pytest.approx(costs[0][len(sizes) - 2])
+
+    @given(st.lists(st.integers(min_value=1, max_value=100), min_size=2, max_size=9))
+    @settings(max_examples=50, deadline=None)
+    def test_optimal_cost_is_finite_and_nonnegative(self, sizes):
+        dp = MatrixChainDP(sizes)
+        assert dp.optimal_cost >= 0.0
+        assert math.isfinite(dp.optimal_cost)

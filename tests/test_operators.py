@@ -1,0 +1,175 @@
+"""Tests for the compound expression nodes: Times, Plus, unary operators."""
+
+import pytest
+
+from repro.algebra import (
+    Inverse,
+    InverseTranspose,
+    Matrix,
+    Plus,
+    ShapeError,
+    Times,
+    Transpose,
+    Vector,
+)
+
+A = Matrix("A", 3, 4)
+B = Matrix("B", 4, 5)
+C = Matrix("C", 5, 6)
+S = Matrix("S", 4, 4)
+
+
+class TestTimes:
+    def test_shape_of_product(self):
+        assert Times(A, B).shape == (3, 5)
+
+    def test_flattening_of_nested_products(self):
+        nested_left = Times(Times(A, B), C)
+        nested_right = Times(A, Times(B, C))
+        assert nested_left == nested_right
+        assert len(nested_left.children) == 3
+
+    def test_operator_overloading(self):
+        assert (A * B) == Times(A, B)
+        assert (A @ B) == Times(A, B)
+
+    def test_nonconforming_product_raises(self):
+        with pytest.raises(ShapeError):
+            Times(A, C)
+
+    def test_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            Times(A)
+
+    def test_rejects_non_expression_operands(self):
+        with pytest.raises(TypeError):
+            Times(A, 3)
+
+    def test_str_representation(self):
+        assert str(Times(A, B)) == "A * B"
+
+    def test_children_are_preserved_in_order(self):
+        product = Times(A, B, C)
+        assert product.children == (A, B, C)
+
+    def test_product_with_vector(self):
+        v = Vector("v", 5)
+        assert Times(B, v).shape == (4, 1)
+
+    def test_preorder_traversal(self):
+        product = Times(A, B)
+        nodes = list(product.preorder())
+        assert nodes[0] is product
+        assert A in nodes and B in nodes
+
+    def test_depth_and_size(self):
+        product = Times(A, B, C)
+        assert product.size == 4
+        assert product.depth == 2
+
+    def test_immutability(self):
+        product = Times(A, B)
+        with pytest.raises(AttributeError):
+            product.children = ()
+
+
+class TestPlus:
+    def test_shape(self):
+        assert Plus(S, S).shape == (4, 4)
+
+    def test_flattening(self):
+        assert Plus(Plus(S, S), S) == Plus(S, S, S)
+
+    def test_nonconforming_sum_raises(self):
+        with pytest.raises(ShapeError):
+            Plus(A, B)
+
+    def test_operator_overloading(self):
+        assert (S + S) == Plus(S, S)
+
+    def test_requires_two_operands(self):
+        with pytest.raises(ValueError):
+            Plus(S)
+
+    def test_str(self):
+        assert str(Plus(S, S)) == "S + S"
+
+
+class TestTranspose:
+    def test_shape_swaps(self):
+        assert Transpose(A).shape == (4, 3)
+
+    def test_property_accessor(self):
+        assert A.T == Transpose(A)
+
+    def test_str(self):
+        assert str(Transpose(A)) == "A^T"
+
+    def test_str_wraps_products(self):
+        assert str(Transpose(Times(A, B))) == "(A * B)^T"
+
+    def test_operand_accessor(self):
+        assert Transpose(A).operand is A
+
+    def test_equality(self):
+        assert Transpose(A) == Transpose(A)
+        assert Transpose(A) != Transpose(B)
+
+
+class TestInverse:
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            Inverse(A)
+
+    def test_shape_preserved(self):
+        assert Inverse(S).shape == (4, 4)
+
+    def test_property_accessor(self):
+        assert S.I == Inverse(S)
+
+    def test_str(self):
+        assert str(Inverse(S)) == "S^-1"
+
+    def test_inverse_of_product_allowed_when_square(self):
+        assert Inverse(Times(S, S)).shape == (4, 4)
+
+    def test_inverse_of_rectangular_product_raises(self):
+        with pytest.raises(ShapeError):
+            Inverse(Times(A, B))
+
+
+class TestInverseTranspose:
+    def test_requires_square(self):
+        with pytest.raises(ShapeError):
+            InverseTranspose(A)
+
+    def test_shape(self):
+        assert InverseTranspose(S).shape == (4, 4)
+
+    def test_property_accessor(self):
+        assert S.invT == InverseTranspose(S)
+
+    def test_str(self):
+        assert str(InverseTranspose(S)) == "S^-T"
+
+    def test_distinct_from_inverse_and_transpose(self):
+        assert InverseTranspose(S) != Inverse(S)
+        assert InverseTranspose(S) != Transpose(S)
+
+
+class TestComposite:
+    def test_chain_expression_shape(self):
+        c2 = Matrix("C2", 6, 5)
+        expr = Times(Inverse(S), B, Transpose(c2))
+        assert expr.shape == (4, 6)
+
+    def test_equality_of_identical_composites(self):
+        left = Times(Inverse(S), B)
+        right = Times(Inverse(S), B)
+        assert left == right
+        assert hash(left) == hash(right)
+
+    def test_leaves_iteration(self):
+        c2 = Matrix("C2", 6, 5)
+        expr = Times(Inverse(S), B, Transpose(c2))
+        assert [leaf.name for leaf in expr.leaves()] == ["S", "B", "C2"]

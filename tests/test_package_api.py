@@ -1,0 +1,144 @@
+"""Tests for the top-level package API, the figures/tables CLIs and docstrings."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro
+from repro.experiments import figures, tables
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_readme_quickstart_snippet_works(self):
+        """The snippet shown in README.md / the package docstring."""
+        from repro import Matrix, Property, generate_program
+
+        a = Matrix("A", 100, 100, {Property.SPD})
+        b = Matrix("B", 100, 50)
+        c = Matrix("C", 50, 50, {Property.LOWER_TRIANGULAR})
+        program = generate_program(a.I * b * c.T)
+        assert len(program.calls) == 2
+
+    def test_package_docstring_example(self):
+        import doctest
+
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+
+    def test_subpackages_importable(self):
+        import repro.algebra
+        import repro.baselines
+        import repro.codegen
+        import repro.core
+        import repro.cost
+        import repro.experiments
+        import repro.frontend
+        import repro.kernels
+        import repro.matching
+        import repro.runtime
+
+        for module in (
+            repro.algebra,
+            repro.matching,
+            repro.kernels,
+            repro.cost,
+            repro.core,
+            repro.codegen,
+            repro.runtime,
+            repro.baselines,
+            repro.experiments,
+            repro.frontend,
+        ):
+            assert module.__doc__, module.__name__
+
+
+class TestDocstringCoverage:
+    def test_public_functions_and_classes_are_documented(self):
+        """Every public item reachable from the sub-package __init__ modules
+        carries a docstring."""
+        import inspect
+
+        modules = [
+            repro.algebra,
+            repro.matching,
+            repro.kernels,
+            repro.cost,
+            repro.core,
+            repro.codegen,
+            repro.runtime,
+            repro.baselines,
+            repro.experiments,
+            repro.frontend,
+        ]
+        undocumented = []
+        for module in modules:
+            for name in getattr(module, "__all__", []):
+                item = getattr(module, name)
+                if inspect.isfunction(item) or inspect.isclass(item):
+                    if not (item.__doc__ or "").strip():
+                        undocumented.append(f"{module.__name__}.{name}")
+        assert not undocumented, f"undocumented public items: {undocumented}"
+
+
+class TestCommandLineInterfaces:
+    def _run_module(self, module, *arguments):
+        return subprocess.run(
+            [sys.executable, "-m", module, *arguments],
+            capture_output=True,
+            text=True,
+            check=False,
+        )
+
+    def test_tables_cli(self):
+        completed = self._run_module("repro.experiments.tables", "table1")
+        assert completed.returncode == 0
+        assert "GEMM" in completed.stdout
+
+    def test_figures_cli_small_run(self):
+        completed = self._run_module(
+            "repro.experiments.figures", "fig8", "--count", "4", "--seed", "3"
+        )
+        assert completed.returncode == 0
+        assert "Figure 8" in completed.stdout
+
+    def test_figures_main_function(self, capsys):
+        assert figures.main(["gentime", "--count", "3"]) == 0
+        assert "Generation-time" in capsys.readouterr().out
+
+    def test_tables_main_function(self, capsys):
+        assert tables.main(["table2"]) == 0
+        assert "Table 2" in capsys.readouterr().out
+
+    def test_figure9_csv_export(self):
+        result = figures.figure9(count=3, seed=1)
+        csv_text = figures.export_figure9_csv(result)
+        assert csv_text.splitlines()[0].startswith("problem")
+        assert len(csv_text.splitlines()) == 4
+
+
+class TestExamples:
+    """The example scripts are part of the public surface; smoke-test the
+    fast ones end to end."""
+
+    @pytest.mark.parametrize(
+        "script",
+        ["quickstart.py", "dsl_compiler.py", "cost_metrics.py"],
+    )
+    def test_example_runs(self, script):
+        completed = subprocess.run(
+            [sys.executable, f"examples/{script}"],
+            capture_output=True,
+            text=True,
+            check=False,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert completed.stdout.strip()

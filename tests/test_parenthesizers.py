@@ -1,0 +1,136 @@
+"""Tests for the baseline parenthesization policies, in particular the
+Armadillo heuristic described in Section 4 of the paper."""
+
+import random
+
+import pytest
+
+from repro.baselines.parenthesizers import (
+    armadillo,
+    left_to_right,
+    right_to_left,
+    tree_products,
+    tree_to_string,
+    vector_aware,
+)
+from repro.core.mcp import parenthesization_cost
+
+
+def _shapes_from_sizes(sizes):
+    return [(sizes[i], sizes[i + 1]) for i in range(len(sizes) - 1)]
+
+
+class TestBasicPolicies:
+    def test_left_to_right(self):
+        shapes = _shapes_from_sizes([2, 3, 4, 5])
+        assert left_to_right(shapes) == ((0, 1), 2)
+
+    def test_right_to_left(self):
+        shapes = _shapes_from_sizes([2, 3, 4, 5])
+        assert right_to_left(shapes) == (0, (1, 2))
+
+    def test_tree_products_bottom_up(self):
+        tree = ((0, 1), (2, 3))
+        products = tree_products(tree)
+        assert products == [(0, 1), (2, 3), ((0, 1), (2, 3))]
+
+    def test_tree_to_string(self):
+        assert tree_to_string(((0, 1), 2), ["A", "B", "C"]) == "((A * B) * C)"
+
+
+class TestVectorAware:
+    def test_degenerates_to_left_to_right_without_vectors(self):
+        shapes = _shapes_from_sizes([2, 3, 4, 5])
+        assert vector_aware(shapes) == left_to_right(shapes)
+
+    def test_right_association_up_to_the_vector(self):
+        # M1 (50x40), M2 (40x30), v (30x1)
+        shapes = [(50, 40), (40, 30), (30, 1)]
+        assert vector_aware(shapes) == (0, (1, 2))
+
+    def test_outer_product_tail_is_folded_afterwards(self):
+        # M1 M2 v1 v2^T
+        shapes = [(50, 40), (40, 30), (30, 1), (1, 20)]
+        assert vector_aware(shapes) == ((0, (1, 2)), 3)
+
+
+class TestArmadilloHeuristic:
+    def test_three_chain_rule_prefers_smaller_intermediate(self):
+        # |AB| = 2*50=100 elements, |BC| = 10*3=30 -> A(BC).
+        shapes = [(2, 10), (10, 50), (50, 3)]
+        assert armadillo(shapes) == (0, (1, 2))
+        # |AB| = 2*3=6, |BC| = 10*50=500 -> (AB)C.
+        shapes = [(2, 10), (10, 3), (3, 50)]
+        assert armadillo(shapes) == ((0, 1), 2)
+
+    def test_four_chain_rule(self):
+        # |ABC| small -> (ABC)D; |BCD| small -> A(BCD).
+        shapes = [(2, 10), (10, 20), (20, 3), (3, 50)]
+        tree = armadillo(shapes)
+        assert tree[1] == 3  # (ABC) D
+        shapes = [(50, 10), (10, 20), (20, 3), (3, 2)]
+        tree = armadillo(shapes)
+        assert tree[0] == 0  # A (BCD)
+
+    def test_never_produces_balanced_split(self):
+        """Section 4: the parenthesization (AB)(CD) is not reachable."""
+        rng = random.Random(0)
+        for _ in range(50):
+            sizes = [rng.randrange(10, 500, 10) for _ in range(5)]
+            tree = armadillo(_shapes_from_sizes(sizes))
+            assert tree != ((0, 1), (2, 3))
+
+    def test_long_chains_are_broken_into_groups(self):
+        sizes = [10, 20, 30, 40, 50, 60, 70, 80]
+        shapes = _shapes_from_sizes(sizes)
+        tree = armadillo(shapes)
+        products = tree_products(tree)
+        assert len(products) == len(shapes) - 1
+
+    def test_cost_is_valid_and_at_least_optimal(self):
+        rng = random.Random(1)
+        for _ in range(30):
+            length = rng.randint(2, 8)
+            sizes = [rng.randrange(10, 400, 10) for _ in range(length + 1)]
+            shapes = _shapes_from_sizes(sizes)
+            tree = armadillo(shapes)
+            cost = parenthesization_cost(_relabel(tree), sizes)
+            from repro.core.mcp import MatrixChainDP
+
+            assert cost >= MatrixChainDP(sizes).optimal_cost - 1e-6
+
+    def test_heuristic_is_better_than_left_to_right_on_shrinking_tails(self):
+        """The heuristic finds A(BC)-style groupings that left-to-right misses."""
+        sizes = [100, 800, 700, 20]
+        shapes = _shapes_from_sizes(sizes)
+        heuristic_cost = parenthesization_cost(_relabel(armadillo(shapes)), sizes)
+        ltr_cost = parenthesization_cost(_relabel(left_to_right(shapes)), sizes)
+        assert heuristic_cost < ltr_cost
+
+
+def _relabel(tree):
+    """Identity transformation kept for clarity (trees already use indices)."""
+    return tree
+
+
+class TestTreeValidity:
+    @pytest.mark.parametrize("policy", [left_to_right, right_to_left, vector_aware, armadillo])
+    def test_every_policy_covers_each_factor_exactly_once(self, policy):
+        rng = random.Random(3)
+        for _ in range(25):
+            length = rng.randint(2, 9)
+            sizes = [rng.choice([1, 10, 20, 50, 100]) for _ in range(length + 1)]
+            # Avoid a leading/trailing 1 turning everything into scalars: fine either way.
+            shapes = _shapes_from_sizes(sizes)
+            tree = policy(shapes)
+            leaves = []
+
+            def collect(node):
+                if isinstance(node, int):
+                    leaves.append(node)
+                else:
+                    collect(node[0])
+                    collect(node[1])
+
+            collect(tree)
+            assert sorted(leaves) == list(range(length))

@@ -1,0 +1,154 @@
+"""Tests for the property enumeration and its implication lattice."""
+
+import pytest
+
+from repro.algebra.properties import (
+    CONTRADICTIONS,
+    IMPLICATIONS,
+    Property,
+    PropertyError,
+    check_consistency,
+    closure,
+    implies,
+    parse_property,
+)
+
+
+class TestClosure:
+    def test_empty_set_closure_is_empty(self):
+        assert closure(set()) == frozenset()
+
+    def test_closure_contains_original_properties(self):
+        assert Property.SPD in closure({Property.SPD})
+
+    def test_spd_implies_symmetric(self):
+        assert Property.SYMMETRIC in closure({Property.SPD})
+
+    def test_spd_implies_non_singular(self):
+        assert Property.NON_SINGULAR in closure({Property.SPD})
+
+    def test_spd_implies_square(self):
+        assert Property.SQUARE in closure({Property.SPD})
+
+    def test_diagonal_implies_both_triangular(self):
+        closed = closure({Property.DIAGONAL})
+        assert Property.LOWER_TRIANGULAR in closed
+        assert Property.UPPER_TRIANGULAR in closed
+
+    def test_diagonal_implies_symmetric(self):
+        assert Property.SYMMETRIC in closure({Property.DIAGONAL})
+
+    def test_identity_implies_spd(self):
+        assert Property.SPD in closure({Property.IDENTITY})
+
+    def test_identity_implies_orthogonal_and_permutation(self):
+        closed = closure({Property.IDENTITY})
+        assert Property.ORTHOGONAL in closed
+        assert Property.PERMUTATION in closed
+
+    def test_transitive_closure_identity_to_square(self):
+        # IDENTITY -> DIAGONAL -> SQUARE requires two steps.
+        assert Property.SQUARE in closure({Property.IDENTITY})
+
+    def test_lower_triangular_does_not_imply_upper(self):
+        assert Property.UPPER_TRIANGULAR not in closure({Property.LOWER_TRIANGULAR})
+
+    def test_symmetric_does_not_imply_spd(self):
+        assert Property.SPD not in closure({Property.SYMMETRIC})
+
+    def test_closure_is_idempotent(self):
+        once = closure({Property.SPD, Property.LOWER_TRIANGULAR})
+        assert closure(once) == once
+
+    def test_closure_of_union_contains_individual_closures(self):
+        a = closure({Property.SPD})
+        b = closure({Property.DIAGONAL})
+        union = closure({Property.SPD, Property.DIAGONAL})
+        assert a <= union
+        assert b <= union
+
+    def test_every_implication_key_is_a_property(self):
+        for prop, implied in IMPLICATIONS.items():
+            assert isinstance(prop, Property)
+            assert all(isinstance(p, Property) for p in implied)
+
+
+class TestImplies:
+    def test_direct_implication(self):
+        assert implies(Property.SPD, Property.SYMMETRIC)
+
+    def test_transitive_implication(self):
+        assert implies(Property.IDENTITY, Property.SYMMETRIC)
+
+    def test_reflexive(self):
+        assert implies(Property.DIAGONAL, Property.DIAGONAL)
+
+    def test_non_implication(self):
+        assert not implies(Property.SYMMETRIC, Property.DIAGONAL)
+
+
+class TestConsistency:
+    def test_consistent_set_is_closed(self):
+        closed = check_consistency({Property.SPD})
+        assert Property.SYMMETRIC in closed
+
+    def test_zero_and_spd_contradict(self):
+        with pytest.raises(PropertyError):
+            check_consistency({Property.ZERO, Property.SPD})
+
+    def test_zero_and_identity_contradict(self):
+        with pytest.raises(PropertyError):
+            check_consistency({Property.ZERO, Property.IDENTITY})
+
+    def test_zero_and_non_singular_contradict(self):
+        with pytest.raises(PropertyError):
+            check_consistency({Property.ZERO, Property.NON_SINGULAR})
+
+    def test_symmetric_triangular_collapses_to_diagonal(self):
+        closed = check_consistency({Property.SYMMETRIC, Property.LOWER_TRIANGULAR})
+        assert Property.DIAGONAL in closed
+
+    def test_symmetric_upper_triangular_collapses_to_diagonal(self):
+        closed = check_consistency({Property.SYMMETRIC, Property.UPPER_TRIANGULAR})
+        assert Property.DIAGONAL in closed
+
+    def test_contradiction_pairs_reference_real_properties(self):
+        for first, second in CONTRADICTIONS:
+            assert isinstance(first, Property)
+            assert isinstance(second, Property)
+
+
+class TestParseProperty:
+    def test_parse_snake_case(self):
+        assert parse_property("lower_triangular") is Property.LOWER_TRIANGULAR
+
+    def test_parse_camel_case(self):
+        assert parse_property("LowerTriangular") is Property.LOWER_TRIANGULAR
+
+    def test_parse_upper_triangular_camel(self):
+        assert parse_property("UpperTriangular") is Property.UPPER_TRIANGULAR
+
+    def test_parse_spd_aliases(self):
+        assert parse_property("SPD") is Property.SPD
+        assert parse_property("SymmetricPositiveDefinite") is Property.SPD
+
+    def test_parse_diagonal(self):
+        assert parse_property("Diagonal") is Property.DIAGONAL
+
+    def test_parse_symmetric(self):
+        assert parse_property("Symmetric") is Property.SYMMETRIC
+
+    def test_parse_non_singular(self):
+        assert parse_property("NonSingular") is Property.NON_SINGULAR
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(PropertyError):
+            parse_property("Sparse")
+
+    def test_parse_empty_raises(self):
+        with pytest.raises(PropertyError):
+            parse_property("")
+
+    def test_parse_general_raises(self):
+        with pytest.raises(PropertyError):
+            parse_property("General")

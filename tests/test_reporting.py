@@ -1,0 +1,79 @@
+"""Tests for the plain-text reporting helpers (tables, charts, CSV)."""
+
+import math
+
+from repro.experiments.reporting import bar_chart, format_table, series_chart, to_csv
+
+
+class TestFormatTable:
+    def test_headers_and_rows_render(self):
+        text = format_table(["name", "value"], [["a", 1.5], ["b", 2.0]])
+        lines = text.splitlines()
+        assert "name" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        assert "a" in lines[2]
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[1234.5678]])
+        assert "1235" in text or "1234" in text
+
+    def test_infinite_and_nan_values(self):
+        text = format_table(["x"], [[math.inf], [math.nan]])
+        assert "inf" in text
+        assert "-" in text
+
+    def test_column_widths_accommodate_long_cells(self):
+        text = format_table(["short"], [["a very long cell value"]])
+        assert "a very long cell value" in text
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"small": 1.0, "large": 10.0}, width=20)
+        small_line = next(line for line in chart.splitlines() if line.startswith("small"))
+        large_line = next(line for line in chart.splitlines() if line.startswith("large"))
+        assert large_line.count("#") > small_line.count("#")
+
+    def test_title_is_included(self):
+        assert bar_chart({"x": 1.0}, title="My chart").startswith("My chart")
+
+    def test_values_are_printed(self):
+        assert "3.50" in bar_chart({"x": 3.5})
+
+    def test_infinite_values_do_not_crash(self):
+        chart = bar_chart({"x": math.inf, "y": 2.0})
+        assert "inf" in chart
+
+
+class TestSeriesChart:
+    def test_renders_grid_and_legend(self):
+        rows = [{"GMC": 0.001 * (i + 1), "Jl n": 0.002 * (i + 1)} for i in range(10)]
+        chart = series_chart(rows, ["GMC", "Jl n"], height=8)
+        assert "legend:" in chart
+        assert "G" in chart
+
+    def test_handles_missing_values(self):
+        rows = [{"GMC": 0.001}, {"GMC": float("nan")}, {"GMC": 0.01}]
+        chart = series_chart(rows, ["GMC"], height=5)
+        assert "legend" in chart
+
+    def test_empty_data(self):
+        assert series_chart([], ["GMC"]) == "(no data)"
+
+
+class TestCsv:
+    def test_round_trip(self):
+        rows = [{"problem": "p1", "GMC": 1.0}, {"problem": "p2", "GMC": 2.0}]
+        text = to_csv(rows)
+        lines = text.strip().splitlines()
+        assert lines[0] == "problem,GMC"
+        assert lines[1].startswith("p1")
+        assert len(lines) == 3
+
+    def test_empty_rows(self):
+        assert to_csv([]) == ""
+
+    def test_explicit_fieldnames_filter_columns(self):
+        rows = [{"a": 1, "b": 2}]
+        text = to_csv(rows, fieldnames=["a"])
+        assert "b" not in text.splitlines()[0]

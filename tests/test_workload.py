@@ -1,0 +1,156 @@
+"""Tests for the random workload generator (the Section 4 problem distribution)."""
+
+import pytest
+
+from repro.algebra import Matrix, Property, Times
+from repro.algebra.simplify import unary_decomposition
+from repro.core import GMCAlgorithm
+from repro.experiments.workload import (
+    ChainGenerator,
+    named_examples,
+    paper_generator,
+    paper_sizes,
+)
+
+
+class TestChainGenerator:
+    def test_lengths_within_bounds(self):
+        generator = ChainGenerator(min_length=3, max_length=10, seed=1)
+        for problem in generator.generate_many(50):
+            assert 3 <= problem.length <= 10
+
+    def test_chains_are_well_formed(self):
+        generator = ChainGenerator(seed=2)
+        for problem in generator.generate_many(50):
+            # Construction already checks conformability; re-assert explicitly.
+            previous = None
+            for factor in problem.factors:
+                if previous is not None:
+                    assert previous.columns == factor.rows
+                previous = factor
+
+    def test_inverted_factors_are_square(self):
+        generator = ChainGenerator(seed=3, inverse_probability=0.9)
+        for problem in generator.generate_many(50):
+            for factor in problem.factors:
+                leaf, _, inverted = unary_decomposition(factor)
+                if inverted:
+                    assert leaf.rows == leaf.columns
+
+    def test_properties_only_on_square_operands(self):
+        generator = ChainGenerator(seed=4, property_probability=1.0)
+        square_only = {
+            Property.SPD,
+            Property.SYMMETRIC,
+            Property.DIAGONAL,
+            Property.LOWER_TRIANGULAR,
+            Property.UPPER_TRIANGULAR,
+        }
+        for problem in generator.generate_many(40):
+            for operand in problem.operands:
+                if operand.rows != operand.columns:
+                    assert not (operand.properties & square_only)
+
+    def test_sizes_come_from_the_grid(self):
+        grid = (10, 20, 30)
+        generator = ChainGenerator(size_choices=grid, vector_probability=0.0, seed=5)
+        for problem in generator.generate_many(20):
+            for operand in problem.operands:
+                assert operand.rows in grid
+                assert operand.columns in grid
+
+    def test_vectors_appear_when_requested(self):
+        generator = ChainGenerator(seed=6, vector_probability=0.5)
+        problems = generator.generate_many(30)
+        assert any(
+            operand.is_vector for problem in problems for operand in problem.operands
+        )
+
+    def test_square_probability_controls_square_fraction(self):
+        always = ChainGenerator(seed=7, square_probability=1.0, vector_probability=0.0)
+        never = ChainGenerator(seed=7, square_probability=0.0, vector_probability=0.0, size_choices=tuple(range(50, 2001, 50)))
+        square_always = sum(
+            operand.is_square for p in always.generate_many(20) for operand in p.operands
+        )
+        square_never = sum(
+            operand.is_square for p in never.generate_many(20) for operand in p.operands
+        )
+        assert square_always > square_never
+
+    def test_reproducibility(self):
+        first = ChainGenerator(seed=8).generate_many(10)
+        second = ChainGenerator(seed=8).generate_many(10)
+        assert [str(p.expression) for p in first] == [str(p.expression) for p in second]
+
+    def test_identifiers_are_unique(self):
+        generator = ChainGenerator(seed=9)
+        identifiers = [problem.identifier for problem in generator.generate_many(25)]
+        assert len(set(identifiers)) == 25
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            ChainGenerator(min_length=1)
+        with pytest.raises(ValueError):
+            ChainGenerator(min_length=5, max_length=3)
+        with pytest.raises(ValueError):
+            ChainGenerator(size_choices=())
+
+    def test_every_generated_chain_is_solvable(self):
+        generator = paper_generator(seed=10)
+        gmc = GMCAlgorithm()
+        for problem in generator.generate_many(25):
+            solution = gmc.solve(problem.expression)
+            assert solution.computable, str(problem)
+
+
+class TestPaperConfiguration:
+    def test_paper_sizes_grid(self):
+        sizes = paper_sizes()
+        assert sizes[0] == 50
+        assert sizes[-1] == 2000
+        assert len(sizes) == 40
+
+    def test_paper_generator_scaled_down_by_default(self):
+        assert max(paper_generator().size_choices) <= 300
+
+    def test_paper_generator_full_scale(self):
+        assert max(paper_generator(full_scale=True).size_choices) == 2000
+
+    def test_paper_generator_length_range(self):
+        generator = paper_generator(seed=11)
+        lengths = {problem.length for problem in generator.generate_many(60)}
+        assert min(lengths) >= 3
+        assert max(lengths) <= 10
+
+
+class TestNamedExamples:
+    def test_all_examples_present(self):
+        examples = named_examples()
+        assert {
+            "triangular_inversion",
+            "kalman_filter",
+            "generalized_eigenproblem",
+            "vector_tail",
+            "tridiagonal_reduction",
+        } <= set(examples)
+
+    def test_examples_are_well_formed_and_solvable(self):
+        gmc = GMCAlgorithm()
+        for name, problem in named_examples().items():
+            solution = gmc.solve(problem.expression)
+            assert solution.computable, name
+
+    def test_kalman_filter_exploits_spd(self):
+        problem = named_examples()["kalman_filter"]
+        solution = GMCAlgorithm().solve(problem.expression)
+        assert "POSV" in solution.kernel_sequence()
+
+    def test_triangular_inversion_uses_triangular_solves(self):
+        problem = named_examples()["triangular_inversion"]
+        solution = GMCAlgorithm().solve(problem.expression)
+        assert "TRSM" in solution.kernel_sequence()
+
+    def test_vector_tail_is_all_matrix_vector_work(self):
+        problem = named_examples()["vector_tail"]
+        solution = GMCAlgorithm().solve(problem.expression)
+        assert set(solution.kernel_sequence()) <= {"GEMV", "GER", "DOT"}
