@@ -1,0 +1,24 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test test-fast bench bench-smoke paper-benchmarks
+
+## Tier-1 verification: the full test suite.
+test:
+	$(PYTHON) -m pytest -x -q tests/
+
+## Quick subset (no hypothesis-heavy modules) for tight edit loops.
+test-fast:
+	$(PYTHON) -m pytest -x -q tests/ -k "not property_based and not equivalence"
+
+## Full generation-time benchmark (writes BENCH_generation.json).
+bench:
+	$(PYTHON) scripts/bench_generation.py
+
+## CI-sized benchmark (fails on legacy/memoized solution divergence).
+bench-smoke:
+	$(PYTHON) scripts/bench_generation.py --smoke --output bench_smoke.json
+
+## Paper-reproduction benchmark suite (pytest-benchmark).
+paper-benchmarks:
+	$(PYTHON) -m pytest -x -q benchmarks/

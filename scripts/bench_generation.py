@@ -1,0 +1,243 @@
+#!/usr/bin/env python
+"""Generation-time benchmark: memoized vs. legacy GMC compilation.
+
+Times the GMC dynamic program (``GMCAlgorithm.solve``) over random
+generalized chains of lengths 3-14 under two configurations:
+
+* **memoized** -- the default pipeline: hash-consed expressions, single-pass
+  memoized property inference, cached identity keys and kernel costs;
+* **legacy** -- the reference pipeline: per-predicate recursive inference
+  (``legacy_inference()``), the reference matcher acceptance path that
+  re-walks patterns per candidate (``legacy_binding()``), and no hash
+  consing (``interning_disabled()``).
+
+Note the legacy configuration still benefits from the always-on caches that
+have no toggle (constructor-primed expression hashes/keys, cached matcher
+tokens and subject flattening, the kernel-cost cache), so the measured
+speedup is a *lower bound* on memoized-vs-seed: those caches only make the
+legacy baseline faster, never slower.
+
+For every chain the two configurations must produce identical solutions
+(optimal cost and parenthesization); the script asserts this and records the
+outcome, so the benchmark doubles as an end-to-end equivalence check on the
+measured workload.
+
+Results are written to ``BENCH_generation.json`` (override with
+``--output``).  Usage::
+
+    PYTHONPATH=src python scripts/bench_generation.py           # full run
+    PYTHONPATH=src python scripts/bench_generation.py --smoke   # CI-sized
+
+``--check-speedup X`` exits non-zero when the aggregate speedup on chains of
+length >= 10 falls below ``X`` (used by CI to catch perf regressions).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import statistics
+import sys
+import time
+from pathlib import Path
+
+from repro.algebra import clear_inference_cache, clear_intern_table
+from repro.algebra.inference import legacy_inference
+from repro.algebra.interning import interning_disabled
+from repro.core import GMCAlgorithm
+from repro.cost import FlopCount
+from repro.experiments.workload import ChainGenerator
+from repro.matching.discrimination_net import legacy_binding
+
+
+def make_problems(length: int, count: int, seed: int):
+    """Random well-formed chains of exactly *length* factors."""
+    generator = ChainGenerator(
+        min_length=length,
+        max_length=length,
+        size_choices=tuple(range(50, 301, 50)),
+        vector_probability=0.10,
+        square_probability=0.40,
+        transpose_probability=0.25,
+        inverse_probability=0.25,
+        property_probability=0.60,
+        seed=seed,
+    )
+    return generator.generate_many(count)
+
+
+def time_solves(problems, repeats: int):
+    """Solve every problem *repeats* times on a fresh algorithm.
+
+    Returns (per-problem best times in seconds, solutions of the last pass).
+    The metric instance is fresh per call so its kernel-cost cache never
+    leaks across configurations.
+    """
+    algorithm = GMCAlgorithm(metric=FlopCount())
+    best = [math.inf] * len(problems)
+    solutions = [None] * len(problems)
+    for _ in range(repeats):
+        for index, problem in enumerate(problems):
+            start = time.perf_counter()
+            solution = algorithm.solve(problem.expression)
+            elapsed = time.perf_counter() - start
+            if elapsed < best[index]:
+                best[index] = elapsed
+            solutions[index] = solution
+    return best, solutions
+
+
+def run(lengths, chains_per_length, repeats, seed):
+    per_length = []
+    mismatches = []
+    for length in lengths:
+        problems = make_problems(length, chains_per_length, seed + length)
+
+        # Legacy configuration: reference inference, reference match binding,
+        # no hash consing.  The global caches are cleared first so neither
+        # mode free-rides on state warmed up by the other.
+        clear_inference_cache()
+        clear_intern_table()
+        with legacy_inference(), interning_disabled(), legacy_binding():
+            legacy_times, legacy_solutions = time_solves(problems, repeats)
+
+        clear_inference_cache()
+        clear_intern_table()
+        memo_times, memo_solutions = time_solves(problems, repeats)
+
+        for problem, legacy, fast in zip(problems, legacy_solutions, memo_solutions):
+            same = (
+                legacy.computable == fast.computable
+                and math.isclose(
+                    float(legacy.optimal_cost),
+                    float(fast.optimal_cost),
+                    rel_tol=1e-9,
+                    abs_tol=1e-9,
+                )
+                if legacy.computable
+                else legacy.computable == fast.computable
+            )
+            if same and legacy.computable:
+                same = legacy.parenthesization() == fast.parenthesization()
+            if not same:
+                mismatches.append(str(problem))
+
+        legacy_total = sum(legacy_times)
+        memo_total = sum(memo_times)
+        entry = {
+            "length": length,
+            "chains": len(problems),
+            "repeats": repeats,
+            "legacy_total_s": legacy_total,
+            "memoized_total_s": memo_total,
+            "legacy_mean_ms": statistics.mean(legacy_times) * 1e3,
+            "memoized_mean_ms": statistics.mean(memo_times) * 1e3,
+            "speedup": legacy_total / memo_total if memo_total > 0 else math.inf,
+        }
+        per_length.append(entry)
+        print(
+            f"length {length:2d}: legacy {entry['legacy_mean_ms']:8.3f} ms/chain, "
+            f"memoized {entry['memoized_mean_ms']:8.3f} ms/chain, "
+            f"speedup {entry['speedup']:5.2f}x"
+        )
+
+    legacy_total = sum(entry["legacy_total_s"] for entry in per_length)
+    memo_total = sum(entry["memoized_total_s"] for entry in per_length)
+    long_entries = [entry for entry in per_length if entry["length"] >= 10]
+    long_legacy = sum(entry["legacy_total_s"] for entry in long_entries)
+    long_memo = sum(entry["memoized_total_s"] for entry in long_entries)
+    return {
+        "description": (
+            "GMC generation time: memoized inference + hash consing vs legacy "
+            "reference path (legacy_inference + legacy_binding + "
+            "interning_disabled; always-on identity/token/cost caches remain "
+            "active in both modes, so the speedup is a lower bound vs the seed)"
+        ),
+        "config": {
+            "lengths": list(lengths),
+            "chains_per_length": chains_per_length,
+            "repeats": repeats,
+            "seed": seed,
+            "metric": "flops",
+        },
+        "per_length": per_length,
+        "overall": {
+            "legacy_total_s": legacy_total,
+            "memoized_total_s": memo_total,
+            "speedup": legacy_total / memo_total if memo_total > 0 else math.inf,
+        },
+        "length_ge_10": {
+            "legacy_total_s": long_legacy,
+            "memoized_total_s": long_memo,
+            "speedup": long_legacy / long_memo if long_memo > 0 else None,
+        },
+        "solutions_match": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--min-length", type=int, default=3)
+    parser.add_argument("--max-length", type=int, default=14)
+    parser.add_argument("--chains-per-length", type=int, default=8)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=2018)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI-sized run (lengths 3-10, 2 chains each, 1 repeat)",
+    )
+    parser.add_argument(
+        "--check-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the length>=10 speedup is at least X",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        lengths = range(3, 11)
+        chains_per_length, repeats = 2, 1
+    else:
+        lengths = range(args.min_length, args.max_length + 1)
+        chains_per_length, repeats = args.chains_per_length, args.repeats
+    if not lengths or min(lengths) < 2 or chains_per_length < 1 or repeats < 1:
+        parser.error(
+            "need max-length >= min-length >= 2, chains-per-length >= 1 and repeats >= 1"
+        )
+
+    report = run(lengths, chains_per_length, repeats, args.seed)
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"\nwrote {args.output}")
+
+    overall = report["overall"]["speedup"]
+    long_speedup = report["length_ge_10"]["speedup"]
+    print(f"overall speedup: {overall:.2f}x")
+    if long_speedup is not None:
+        print(f"length >= 10 speedup: {long_speedup:.2f}x")
+
+    if not report["solutions_match"]:
+        print("ERROR: legacy and memoized solutions diverged", file=sys.stderr)
+        return 1
+    if args.check_speedup is not None:
+        reference = long_speedup if long_speedup is not None else overall
+        if reference < args.check_speedup:
+            print(
+                f"ERROR: speedup {reference:.2f}x below required "
+                f"{args.check_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

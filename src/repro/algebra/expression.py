@@ -26,7 +26,15 @@ class ShapeError(ValueError):
 class Expression:
     """Abstract base class for every node of a symbolic expression tree."""
 
-    __slots__ = ()
+    #: Cached structural identity (``_key_cache``) and hash (``_hash_cache``).
+    #: Expressions are immutable, so both are computed at most once; the
+    #: constructors of concrete node types prime them eagerly (see
+    #: :meth:`_prime_identity_cache`) so that building a parent node reuses
+    #: the already-cached hashes of its children instead of re-walking the
+    #: whole subtree on every dict lookup.  ``_token_cache`` and
+    #: ``_flat_cache`` are reserved for the discrimination net's per-node
+    #: trie token and preorder flattening (both computed lazily).
+    __slots__ = ("_key_cache", "_hash_cache", "_token_cache", "_flat_cache")
 
     #: Child expressions (empty tuple for leaves).
     children: Tuple["Expression", ...] = ()
@@ -143,15 +151,50 @@ class Expression:
         """Structural identity key; subclasses must override."""
         raise NotImplementedError
 
+    def structural_key(self) -> Tuple:
+        """The structural identity key, cached after the first computation.
+
+        Equivalent to :meth:`_key` but O(1) amortized; all identity-sensitive
+        code (hashing, equality, discrimination-net tokens) should go through
+        this accessor rather than calling ``_key`` directly.
+        """
+        try:
+            return self._key_cache
+        except AttributeError:
+            key = self._key()
+            object.__setattr__(self, "_key_cache", key)
+            return key
+
+    def _prime_identity_cache(self) -> None:
+        """Compute and store the identity key and hash of a finished node.
+
+        Called at the end of every concrete constructor.  Because children
+        are always constructed (and primed) before their parent, priming a
+        compound node costs O(#children), not O(subtree size).
+        """
+        key = self._key()
+        object.__setattr__(self, "_key_cache", key)
+        object.__setattr__(self, "_hash_cache", hash((type(self).__name__, key)))
+
     def __eq__(self, other: object) -> bool:
         if self is other:
             return True
         if type(self) is not type(other):
             return NotImplemented
-        return self._key() == other._key()  # type: ignore[attr-defined]
+        try:
+            if self._hash_cache != other._hash_cache:  # type: ignore[attr-defined]
+                return False
+        except AttributeError:
+            pass
+        return self.structural_key() == other.structural_key()  # type: ignore[attr-defined]
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__, self._key()))
+        try:
+            return self._hash_cache
+        except AttributeError:
+            value = hash((type(self).__name__, self.structural_key()))
+            object.__setattr__(self, "_hash_cache", value)
+            return value
 
     def __repr__(self) -> str:
         return str(self)
@@ -219,6 +262,7 @@ class Matrix(Expression):
         object.__setattr__(self, "_rows", int(rows))
         object.__setattr__(self, "_columns", int(columns))
         object.__setattr__(self, "properties", frozenset(closed))
+        self._prime_identity_cache()
 
     def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
         raise AttributeError("Matrix instances are immutable")
@@ -320,8 +364,17 @@ class Temporary(Matrix):
 
     @classmethod
     def reset_counter(cls) -> None:
-        """Reset the global naming counter (used by tests for determinism)."""
+        """Reset the global naming counter (used by tests for determinism).
+
+        Temporary identity is name-based and assumes names are never reused;
+        resetting the counter breaks that assumption for any canonical nodes
+        already held by the process-wide interner, so the intern table is
+        dropped along with the counter.
+        """
         cls._counter = itertools.count(1)
+        from .interning import clear_intern_table
+
+        clear_intern_table()
 
 
 def matrix_properties(expr: Expression) -> FrozenSet[Property]:

@@ -1,0 +1,138 @@
+"""Hash-consing of symbolic expressions.
+
+Expressions are immutable and compared structurally, which means the GMC
+dynamic program, the baseline simulators and the pattern matcher repeatedly
+build *structurally equal but distinct* objects -- the same sub-chain
+``Times(A, B, C)`` is reconstructed for every DP cell that contains it, and
+masked operand copies recur across baseline builds.  Hash consing (the
+standard interning technique of symbolic and compiler systems) maps every
+expression to one canonical representative, so that
+
+* structurally equal subtrees become the *same* object, turning deep
+  structural equality checks into pointer comparisons (``Expression.__eq__``
+  short-circuits on identity), and
+* caches keyed by expressions -- most importantly the memoized property
+  inference of :mod:`repro.algebra.inference` -- hit by identity instead of
+  re-walking trees.
+
+The canonical table is keyed by structural equality, which is cheap here
+because every node caches its hash and identity key at construction time
+(:meth:`Expression._prime_identity_cache`).
+
+Interning is *optional*: nothing in the algebra layer requires canonical
+nodes, and :func:`interning_disabled` turns the construction path into the
+identity function (used by benchmarks to measure the legacy behaviour).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+from .expression import Expression
+from .operators import Inverse, InverseTranspose, Plus, Times, Transpose
+
+__all__ = [
+    "ExpressionInterner",
+    "default_interner",
+    "intern",
+    "interning_disabled",
+    "clear_intern_table",
+]
+
+
+class ExpressionInterner:
+    """A canonical table mapping expressions to unique representatives.
+
+    ``intern`` returns the canonical object for an expression, registering it
+    (with canonicalized children) on first sight.  The table is bounded: when
+    it exceeds ``max_entries`` it is reset rather than evicted entry by
+    entry, which keeps the worst case trivially bounded without bookkeeping
+    in the hot path.
+    """
+
+    def __init__(self, max_entries: int = 1_000_000) -> None:
+        self._table: Dict[Expression, Expression] = {}
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def clear(self) -> None:
+        self._table.clear()
+
+    def intern(self, expr: Expression) -> Expression:
+        """Return the canonical representative of *expr*.
+
+        Structurally equal inputs yield the identical object.  The canonical
+        node always holds canonical children, so identity-based sharing is
+        hereditary.
+        """
+        table = self._table
+        found = table.get(expr)
+        if found is not None:
+            self.hits += 1
+            return found
+        self.misses += 1
+        if expr.children:
+            canonical_children = tuple(self.intern(child) for child in expr.children)
+            if any(new is not old for new, old in zip(canonical_children, expr.children)):
+                expr = _rebuild(expr, canonical_children)
+        if len(table) >= self.max_entries:
+            table.clear()
+        table[expr] = expr
+        return expr
+
+
+def _rebuild(expr: Expression, children) -> Expression:
+    """Reconstruct a compound node over canonicalized children."""
+    if isinstance(expr, (Transpose, Inverse, InverseTranspose)):
+        return type(expr)(children[0])
+    if isinstance(expr, (Times, Plus)):
+        return type(expr)(*children)
+    # Unknown compound type (e.g. a user extension): keep the original node;
+    # it is still a valid canonical representative of its equivalence class.
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Module-level default interner (shared by the GMC hot path).
+# ---------------------------------------------------------------------------
+
+_DEFAULT = ExpressionInterner()
+_ACTIVE: Optional[ExpressionInterner] = _DEFAULT
+
+
+def default_interner() -> ExpressionInterner:
+    """The process-wide interner used by :func:`intern`."""
+    return _DEFAULT
+
+
+def intern(expr: Expression) -> Expression:
+    """Intern through the active interner; identity when interning is off."""
+    active = _ACTIVE
+    if active is None:
+        return expr
+    return active.intern(expr)
+
+
+@contextmanager
+def interning_disabled() -> Iterator[None]:
+    """Temporarily make :func:`intern` the identity function.
+
+    Used by the generation-time benchmark to time the non-hash-consed path.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = None
+    try:
+        yield
+    finally:
+        _ACTIVE = previous
+
+
+def clear_intern_table() -> None:
+    """Drop all canonical representatives (tests / long-running processes)."""
+    _DEFAULT.clear()

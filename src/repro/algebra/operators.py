@@ -27,6 +27,9 @@ class _Compound(Expression):
 
     def __init__(self, children: Tuple[Expression, ...]) -> None:
         object.__setattr__(self, "children", children)
+        # Children are fully constructed (and their caches primed) at this
+        # point, so priming here costs O(#children) per node.
+        self._prime_identity_cache()
 
     def __setattr__(self, key: str, value: object) -> None:  # pragma: no cover
         raise AttributeError(f"{type(self).__name__} instances are immutable")

@@ -45,6 +45,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..algebra.expression import Expression, Matrix, Temporary
 from ..algebra.inference import infer_properties
+from ..algebra.interning import intern
 from ..algebra.operators import Times
 from ..algebra.simplify import as_chain, unary_decomposition
 from ..cost.metrics import CostMetric, resolve_metric
@@ -252,6 +253,10 @@ class GMCAlgorithm:
     def _solve_factors(
         self, factors: Tuple[Expression, ...], expression: Expression
     ) -> GMCSolution:
+        # Hash-cons the chain factors so that every sub-chain built below
+        # shares canonical nodes; the memoized property inference (and every
+        # other expression-keyed cache) then hits by object identity.
+        factors = tuple(intern(factor) for factor in factors)
         n = len(factors)
         metric = self.metric
         costs: List[List[object]] = [
@@ -269,8 +274,10 @@ class GMCAlgorithm:
                 j = i + length
                 # Properties of M[i..j] do not depend on the split, so the
                 # temporary (and its property inference) is created once per
-                # cell -- the O(n^2 p) refinement of Section 3.4.
-                sub_chain = Times(*factors[i : j + 1])
+                # cell -- the O(n^2 p) refinement of Section 3.4.  The
+                # sub-chain is interned so inference memoizes per canonical
+                # node across cells (and across repeated solves).
+                sub_chain = intern(Times(*factors[i : j + 1]))
                 tmp = Temporary(
                     rows=sub_chain.rows,
                     columns=sub_chain.columns,
@@ -327,7 +334,7 @@ class GMCAlgorithm:
         best: Optional[Tuple[Kernel, Substitution, object]] = None
         best_key: Optional[Tuple] = None
         for kernel, substitution in self.catalog.match(expr):
-            kernel_cost = self.metric.kernel_cost(kernel, substitution)
+            kernel_cost = self.metric.kernel_cost_cached(kernel, substitution)
             key = (kernel_cost, -len(kernel.pattern.constraints), kernel.id)
             if best_key is None or key < best_key:
                 best_key = key

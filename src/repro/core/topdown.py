@@ -23,6 +23,7 @@ from typing import Dict, Iterator, List, Optional, Tuple, Union
 
 from ..algebra.expression import Expression, Matrix, Temporary
 from ..algebra.inference import infer_properties
+from ..algebra.interning import intern
 from ..algebra.operators import Times
 from ..cost.metrics import CostMetric, resolve_metric
 from ..kernels.catalog import KernelCatalog, default_catalog
@@ -141,6 +142,9 @@ class TopDownGMC:
 
     def solve(self, chain: ChainLike) -> TopDownSolution:
         factors, expression = _coerce_chain(chain)
+        # Hash-cons the factors (see GMCAlgorithm._solve_factors): sub-chains
+        # then share canonical nodes and inference memoizes by identity.
+        factors = tuple(intern(factor) for factor in factors)
         table: Dict[Tuple[int, int], _SubChain] = {}
         operands: Dict[Tuple[int, int], Matrix] = {}
 
@@ -150,7 +154,7 @@ class TopDownGMC:
                 return factors[i]  # type: ignore[return-value]
             key = (i, j)
             if key not in operands:
-                sub_chain = Times(*factors[i : j + 1])
+                sub_chain = intern(Times(*factors[i : j + 1]))
                 operands[key] = Temporary(
                     rows=sub_chain.rows,
                     columns=sub_chain.columns,
@@ -216,7 +220,7 @@ class TopDownGMC:
         best: Optional[Tuple[Kernel, Substitution, object]] = None
         best_key: Optional[Tuple] = None
         for kernel, substitution in self.catalog.match(expr):
-            kernel_cost = self.metric.kernel_cost(kernel, substitution)
+            kernel_cost = self.metric.kernel_cost_cached(kernel, substitution)
             key = (kernel_cost, -len(kernel.pattern.constraints), kernel.id)
             if best_key is None or key < best_key:
                 best_key = key

@@ -38,10 +38,43 @@ class CostMetric:
     zero: object = 0.0
     #: Cost of an impossible computation (no kernel matches).
     infinity: object = math.inf
+    #: Whether :meth:`kernel_cost` is a pure function of (kernel,
+    #: substitution).  Metrics with mutable state must set this to ``False``
+    #: so :meth:`kernel_cost_cached` never serves stale values.
+    cacheable: bool = True
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> object:
         """Cost of applying *kernel* to the matched operands."""
         raise NotImplementedError
+
+    def kernel_cost_cached(self, kernel: Kernel, substitution: Substitution) -> object:
+        """Memoized :meth:`kernel_cost`, keyed by ``(kernel, substitution)``.
+
+        Kernel costs are pure functions of the matched operand shapes, so the
+        DP loops (which re-encounter the same leaf-level substitutions across
+        splits and across repeated solves on a shared metric instance) can
+        look them up instead of re-evaluating the cost formula.  The kernel
+        object itself is part of the key (kernels hash by identity), so
+        same-id kernels from different catalogs never collide.  Substitution
+        hashing is O(1) amortized thanks to the cached expression hashes.
+        Metrics that are not pure set :attr:`cacheable` to ``False`` and are
+        never cached.
+        """
+        if not self.cacheable:
+            return self.kernel_cost(kernel, substitution)
+        try:
+            cache = self._cost_cache
+        except AttributeError:
+            cache = {}
+            self._cost_cache = cache
+        key = (kernel, substitution)
+        cost = cache.get(key)
+        if cost is None:
+            cost = self.kernel_cost(kernel, substitution)
+            if len(cache) >= 100_000:
+                cache.clear()
+            cache[key] = cost
+        return cost
 
     def combine(self, left: object, right: object) -> object:
         """Accumulate two costs (defaults to addition)."""
@@ -157,6 +190,7 @@ class WeightedSumMetric(CostMetric):
         if not components:
             raise ValueError("WeightedSumMetric requires at least one component")
         self.components = tuple(components)
+        self.cacheable = all(metric.cacheable for metric, _ in self.components)
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> float:
         return sum(
@@ -183,6 +217,7 @@ class VectorMetric(CostMetric):
         self.components = tuple(components)
         self.zero = tuple(0.0 for _ in self.components)
         self.infinity = tuple(math.inf for _ in self.components)
+        self.cacheable = all(metric.cacheable for metric in self.components)
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> Tuple[float, ...]:
         return tuple(
@@ -197,11 +232,22 @@ class VectorMetric(CostMetric):
 
 
 class CustomMetric(CostMetric):
-    """Wrap an arbitrary ``f(kernel, substitution) -> float`` as a metric."""
+    """Wrap an arbitrary ``f(kernel, substitution) -> float`` as a metric.
 
-    def __init__(self, function: Callable[[Kernel, Substitution], float], name: str = "custom") -> None:
+    User functions may close over mutable state, so custom metrics are
+    conservatively excluded from kernel-cost caching; pass
+    ``cacheable=True`` when the function is pure.
+    """
+
+    def __init__(
+        self,
+        function: Callable[[Kernel, Substitution], float],
+        name: str = "custom",
+        cacheable: bool = False,
+    ) -> None:
         self._function = function
         self.name = name
+        self.cacheable = cacheable
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> float:
         return float(self._function(kernel, substitution))

@@ -5,7 +5,7 @@ compute a given sub-expression, mirroring the role MatchPy plays in the
 paper's reference implementation (Section 3.1).
 """
 
-from .discrimination_net import DiscriminationNet
+from .discrimination_net import DiscriminationNet, legacy_binding
 from .patterns import (
     Constraint,
     Pattern,
@@ -25,4 +25,5 @@ __all__ = [
     "matches",
     "property_constraint",
     "DiscriminationNet",
+    "legacy_binding",
 ]

@@ -26,8 +26,9 @@ Implementation notes
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.expression import Expression
 from ..algebra.operators import Inverse, InverseTranspose, Plus, Times, Transpose
@@ -37,12 +38,47 @@ _WILDCARD_TOKEN = "*"
 
 _OPERATOR_TYPES = (Times, Plus, Transpose, Inverse, InverseTranspose)
 
+#: When true, :meth:`DiscriminationNet.match` routes acceptance through the
+#: reference binding path (see :func:`legacy_binding`).
+_LEGACY_BINDING = False
+
+
+@contextmanager
+def legacy_binding() -> Iterator[None]:
+    """Route match acceptance through the reference (pre-optimization) path.
+
+    The reference path re-derives the wildcard table from the pattern tree
+    and builds the substitution through a chain of copies, exactly as the
+    original implementation did; it is kept for differential testing and so
+    the generation-time benchmark can compare against the legacy matcher.
+    """
+    global _LEGACY_BINDING
+    previous = _LEGACY_BINDING
+    _LEGACY_BINDING = True
+    try:
+        yield
+    finally:
+        _LEGACY_BINDING = previous
+
 
 def _node_token(node: Expression) -> Tuple:
-    """Flatten one expression node to a hashable trie token."""
+    """Flatten one expression node to a hashable trie token.
+
+    Tokens are cached on the node (expressions are immutable): leaf tokens
+    embed the cached structural key, and a shared operand -- e.g. a DP
+    temporary appearing in many candidate splits -- is tokenized exactly
+    once instead of once per match.
+    """
+    try:
+        return node._token_cache
+    except AttributeError:
+        pass
     if isinstance(node, _OPERATOR_TYPES):
-        return (type(node).__name__, len(node.children))
-    return ("leaf", type(node).__name__, node._key())
+        token: Tuple = (type(node).__name__, len(node.children))
+    else:
+        token = ("leaf", type(node).__name__, node.structural_key())
+    object.__setattr__(node, "_token_cache", token)
+    return token
 
 
 def _flatten_pattern(expression: Expression) -> Tuple[List, List[Optional[str]]]:
@@ -72,22 +108,59 @@ def _flatten_subject(expression: Expression) -> Tuple[List[Expression], List[int
     """Preorder node list of the subject plus the subtree size of each node.
 
     The subtree sizes let a wildcard edge skip a whole subtree in O(1).
+    The result is cached per (immutable) node, so an operand shared by many
+    candidate splits -- every DP temporary -- is flattened once, and a fresh
+    product subject only concatenates its children's cached flattenings.
     """
-    nodes: List[Expression] = []
-    sizes: List[int] = []
+    try:
+        return expression._flat_cache
+    except AttributeError:
+        pass
+    nodes: List[Expression] = [expression]
+    sizes: List[int] = [0]
+    for child in expression.children:
+        child_nodes, child_sizes = _flatten_subject(child)
+        nodes.extend(child_nodes)
+        sizes.extend(child_sizes)
+    sizes[0] = len(nodes)
+    result = (nodes, sizes)
+    object.__setattr__(expression, "_flat_cache", result)
+    return result
 
-    def visit(node: Expression) -> int:
-        index = len(nodes)
-        nodes.append(node)
-        sizes.append(1)
-        total = 1
-        for child in node.children:
-            total += visit(child)
-        sizes[index] = total
-        return total
 
-    visit(expression)
-    return nodes, sizes
+@dataclass
+class _AcceptEntry:
+    """A pattern accepted at a trie node, with precomputed binding metadata.
+
+    ``slot_names`` lists the wildcard name of every wildcard slot in pattern
+    preorder; ``slot_predicates`` holds the per-slot wildcard predicate (or
+    ``None``) and ``constraint_predicates`` the raw constraint callables.
+    All of it is computed once at insertion time so that acceptance -- which
+    runs for every candidate match in the GMC inner loop -- never re-walks
+    the pattern tree and pays no dispatch overhead per check.
+    """
+
+    pattern: Pattern
+    slot_names: Tuple[str, ...]
+    slot_predicates: Tuple[Optional[Callable[[Expression], bool]], ...]
+    constraint_predicates: Tuple[Callable[[Substitution], bool], ...]
+    payload: object
+
+
+@dataclass
+class _AcceptGroup:
+    """Accepted patterns sharing one wildcard slot layout.
+
+    Kernel catalogs contain many patterns that differ only in their
+    constraints (GEMM / SYMM / TRMM / ... are all ``X * Y``); grouping them
+    by ``(slot_names, slot_predicates)`` lets the matcher validate the
+    bindings and build the substitution *once per group* instead of once per
+    pattern -- the per-pattern work shrinks to the constraint checks.
+    """
+
+    slot_names: Tuple[str, ...]
+    slot_predicates: Tuple[Optional[Callable[[Expression], bool]], ...]
+    entries: List[_AcceptEntry] = field(default_factory=list)
 
 
 @dataclass
@@ -96,9 +169,16 @@ class _Node:
 
     edges: Dict[object, "_Node"] = field(default_factory=dict)
     wildcard_edge: Optional["_Node"] = None
-    #: Patterns accepted at this node, together with their per-slot wildcard
-    #: names (parallel to the token sequence) and their payloads.
-    accepts: List[Tuple[Pattern, List[Optional[str]], object]] = field(default_factory=list)
+    #: The wildcard predicate shared by *every* pattern slot routed through
+    #: ``wildcard_edge``, or ``None`` when the slots disagree (or none of
+    #: them carries a predicate).  When set, the matcher evaluates it once
+    #: while traversing the edge and prunes the whole pattern family on
+    #: failure, instead of rejecting each accepted pattern at bind time.
+    wildcard_predicate: Optional[Callable[[Expression], bool]] = None
+    #: False once two patterns routed different predicates through the edge.
+    wildcard_predicate_shared: bool = True
+    #: Patterns accepted at this node, grouped by wildcard slot layout.
+    accepts: List[_AcceptGroup] = field(default_factory=list)
 
 
 class DiscriminationNet:
@@ -121,15 +201,56 @@ class DiscriminationNet:
     def add(self, pattern: Pattern, payload: object = None) -> None:
         """Insert a pattern (with an optional payload) into the net."""
         tokens, names = _flatten_pattern(pattern.expression)
+        wildcards_by_name = {
+            wildcard.name: wildcard
+            for wildcard in pattern.expression.preorder()
+            if isinstance(wildcard, Wildcard)
+        }
+        slot_names = tuple(name for name in names if name is not None)
+        slot_predicates = tuple(
+            wildcards_by_name[name].predicate for name in slot_names
+        )
         node = self._root
+        slot = 0
         for token in tokens:
             if token == _WILDCARD_TOKEN:
-                if node.wildcard_edge is None:
-                    node.wildcard_edge = _Node()
-                node = node.wildcard_edge
+                predicate = slot_predicates[slot]
+                slot += 1
+                edge = node.wildcard_edge
+                if edge is None:
+                    edge = node.wildcard_edge = _Node()
+                    edge.wildcard_predicate = predicate
+                elif edge.wildcard_predicate_shared and (
+                    edge.wildcard_predicate is not predicate
+                ):
+                    edge.wildcard_predicate = None
+                    edge.wildcard_predicate_shared = False
+                node = edge
             else:
                 node = node.edges.setdefault(token, _Node())
-        node.accepts.append((pattern, names, payload))
+        entry = _AcceptEntry(
+            pattern=pattern,
+            slot_names=slot_names,
+            slot_predicates=slot_predicates,
+            constraint_predicates=tuple(
+                constraint.predicate for constraint in pattern.constraints
+            ),
+            payload=payload,
+        )
+        for group in node.accepts:
+            # Tuples of callables compare by identity, which is exactly the
+            # sharing criterion: same names, same predicate functions.
+            if group.slot_names == slot_names and group.slot_predicates == slot_predicates:
+                group.entries.append(entry)
+                break
+        else:
+            node.accepts.append(
+                _AcceptGroup(
+                    slot_names=slot_names,
+                    slot_predicates=slot_predicates,
+                    entries=[entry],
+                )
+            )
         self._size += 1
 
     # ------------------------------------------------------------------ match
@@ -137,6 +258,8 @@ class DiscriminationNet:
         """Yield every pattern of the net that matches *subject*."""
         nodes, sizes = _flatten_subject(subject)
         total = len(nodes)
+        legacy = _LEGACY_BINDING
+        prune = not legacy
 
         # Depth-first search over (net node, subject position, bindings).
         # ``bindings`` is the list of subject sub-expressions consumed by
@@ -145,32 +268,79 @@ class DiscriminationNet:
         while stack:
             net_node, position, bindings = stack.pop()
             if position == total:
-                for pattern, names, payload in net_node.accepts:
-                    substitution = self._bind(pattern, names, bindings)
-                    if substitution is not None:
-                        yield pattern, substitution, payload
+                if legacy:
+                    for group in net_node.accepts:
+                        for entry in group.entries:
+                            substitution = self._bind_reference(entry, bindings)
+                            if substitution is not None:
+                                yield entry.pattern, substitution, entry.payload
+                    continue
+                for group in net_node.accepts:
+                    slot_names = group.slot_names
+                    if len(slot_names) != len(bindings):
+                        continue
+                    # Validate the shared slot layout and build the (single,
+                    # immutable) substitution once for the whole group.
+                    mapping: Dict[str, Expression] = {}
+                    ok = True
+                    for name, predicate, expr in zip(
+                        slot_names, group.slot_predicates, bindings
+                    ):
+                        if predicate is not None and not predicate(expr):
+                            ok = False
+                            break
+                        existing = mapping.get(name)
+                        if existing is None:
+                            mapping[name] = expr
+                        elif existing != expr:
+                            ok = False
+                            break
+                    if not ok:
+                        continue
+                    substitution = Substitution._from_owned_dict(mapping)
+                    for entry in group.entries:
+                        for constraint in entry.constraint_predicates:
+                            if not constraint(substitution):
+                                break
+                        else:
+                            yield entry.pattern, substitution, entry.payload
                 continue
             subject_node = nodes[position]
             token = _node_token(subject_node)
             exact_next = net_node.edges.get(token)
             if exact_next is not None:
                 stack.append((exact_next, position + 1, bindings))
-            if net_node.wildcard_edge is not None:
+            wildcard_edge = net_node.wildcard_edge
+            if wildcard_edge is not None:
+                # When every pattern slot routed through this edge carries
+                # the same predicate, evaluate it here once and prune the
+                # whole branch on failure (bind would reject each pattern
+                # individually otherwise).  Disabled in legacy mode, which
+                # reproduces the original acceptance behaviour.
+                predicate = wildcard_edge.wildcard_predicate
+                if prune and predicate is not None and not predicate(subject_node):
+                    continue
                 skip = sizes[position]
                 stack.append(
-                    (net_node.wildcard_edge, position + skip, bindings + (subject_node,))
+                    (wildcard_edge, position + skip, bindings + (subject_node,))
                 )
 
-    def _bind(
+    def _bind_reference(
         self,
-        pattern: Pattern,
-        names: List[Optional[str]],
+        entry: _AcceptEntry,
         bindings: Tuple[Expression, ...],
     ) -> Optional[Substitution]:
-        """Turn the collected wildcard bindings into a substitution and check
-        wildcard predicates, non-linear consistency and pattern constraints."""
-        wildcard_names = [name for name in names if name is not None]
-        if len(wildcard_names) != len(bindings):
+        """Reference acceptance path, kept verbatim from the original
+        implementation: rebuilds the wildcard table from the pattern tree and
+        extends the substitution binding by binding.
+
+        Semantically identical to :meth:`_bind` (asserted by the
+        differential tests); activated by :func:`legacy_binding` so the
+        generation-time benchmark can measure the pre-optimization matcher.
+        """
+        pattern = entry.pattern
+        slot_names = entry.slot_names
+        if len(slot_names) != len(bindings):
             return None
         substitution: Optional[Substitution] = Substitution()
         wildcards_by_name = {
@@ -178,7 +348,7 @@ class DiscriminationNet:
             for node in pattern.expression.preorder()
             if isinstance(node, Wildcard)
         }
-        for name, expr in zip(wildcard_names, bindings):
+        for name, expr in zip(slot_names, bindings):
             wildcard = wildcards_by_name.get(name)
             if wildcard is not None and not wildcard.admits(expr):
                 return None

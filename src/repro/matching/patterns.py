@@ -83,10 +83,23 @@ class Wildcard(Expression):
 class Substitution(Mapping[str, Expression]):
     """An immutable mapping from wildcard names to matched expressions."""
 
-    __slots__ = ("_bindings",)
+    __slots__ = ("_bindings", "_hash")
 
     def __init__(self, bindings: Optional[Mapping[str, Expression]] = None) -> None:
         self._bindings: Dict[str, Expression] = dict(bindings or {})
+        self._hash: Optional[int] = None
+
+    @classmethod
+    def _from_owned_dict(cls, bindings: Dict[str, Expression]) -> "Substitution":
+        """Wrap a freshly built dict without copying it.
+
+        The caller must relinquish ownership of *bindings*; used by the
+        matcher's acceptance path, which builds one dict per candidate match.
+        """
+        substitution = cls.__new__(cls)
+        substitution._bindings = bindings
+        substitution._hash = None
+        return substitution
 
     def __getitem__(self, key: str) -> Expression:
         return self._bindings[key]
@@ -96,6 +109,24 @@ class Substitution(Mapping[str, Expression]):
 
     def __len__(self) -> int:
         return len(self._bindings)
+
+    # Direct delegation to the underlying dict: the ``Mapping`` mixin
+    # versions go through ``__getitem__`` + exception handling per call,
+    # which is measurable in the kernel-matching inner loop.
+    def get(self, key: str, default=None):
+        return self._bindings.get(key, default)
+
+    def keys(self):
+        return self._bindings.keys()
+
+    def values(self):
+        return self._bindings.values()
+
+    def items(self):
+        return self._bindings.items()
+
+    def __contains__(self, key: object) -> bool:
+        return key in self._bindings
 
     def extended(self, name: str, expr: Expression) -> Optional["Substitution"]:
         """Return a new substitution with ``name -> expr`` added.
@@ -108,7 +139,7 @@ class Substitution(Mapping[str, Expression]):
             return self if existing == expr else None
         merged = dict(self._bindings)
         merged[name] = expr
-        return Substitution(merged)
+        return Substitution._from_owned_dict(merged)
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{name}={expr}" for name, expr in sorted(self._bindings.items()))
@@ -120,7 +151,14 @@ class Substitution(Mapping[str, Expression]):
         return self._bindings == other._bindings
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._bindings.items()))
+        # Substitutions are immutable; caching the hash makes them cheap dict
+        # keys (e.g. for memoized kernel costs).  The expression values cache
+        # their own hashes, so the first computation is O(#bindings).
+        value = self._hash
+        if value is None:
+            value = hash(frozenset(self._bindings.items()))
+            self._hash = value
+        return value
 
 
 class Constraint:
@@ -137,6 +175,11 @@ class Constraint:
     ) -> None:
         self._predicate = predicate
         self.description = description or getattr(predicate, "__name__", "constraint")
+
+    @property
+    def predicate(self) -> Callable[[Substitution], bool]:
+        """The underlying predicate (for callers that pre-extract it)."""
+        return self._predicate
 
     def __call__(self, substitution: Substitution) -> bool:
         return bool(self._predicate(substitution))

@@ -8,7 +8,7 @@ from repro.core import GMCAlgorithm, TopDownGMC, UncomputableChainError
 from repro.kernels import default_catalog
 from repro.runtime import allclose, execute_program, instantiate_expression
 
-from .test_property_based import generalized_chains
+from test_property_based import generalized_chains
 
 _SETTINGS = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
 
