@@ -17,7 +17,19 @@ tokens and subject flattening, the kernel-cost cache), so the measured
 speedup is a *lower bound* on memoized-vs-seed: those caches only make the
 legacy baseline faster, never slower.
 
-For every chain the two configurations must produce identical solutions
+A second section benchmarks the **signature-keyed kernel-match cache** and
+**DP split pruning** introduced on top of the memoized pipeline, against the
+memoized-but-uncached/unpruned configuration (the PR 1 baseline).  For every
+chain length it measures:
+
+* the baseline's warm repeated-solve time (match caching disabled, pruning
+  off, but inference/interning/kernel-cost caches warm);
+* the cached + pruned pipeline cold (first solve, empty match cache) and
+  warm (repeated solve, all caches hot) -- the batch/server scenario where
+  one process serves many structurally similar chains;
+* the match-cache hit rate of the warm pass.
+
+For every chain all configurations must produce identical solutions
 (optimal cost and parenthesization); the script asserts this and records the
 outcome, so the benchmark doubles as an end-to-end equivalence check on the
 measured workload.
@@ -29,7 +41,9 @@ Results are written to ``BENCH_generation.json`` (override with
     PYTHONPATH=src python scripts/bench_generation.py --smoke   # CI-sized
 
 ``--check-speedup X`` exits non-zero when the aggregate speedup on chains of
-length >= 10 falls below ``X`` (used by CI to catch perf regressions).
+length >= 10 falls below ``X``; ``--check-hit-rate R`` does the same when
+the warm match-cache hit rate on the chain-12 case (or the longest
+benchmarked length) falls below ``R`` (both used by CI).
 """
 
 from __future__ import annotations
@@ -48,7 +62,9 @@ from repro.algebra.interning import interning_disabled
 from repro.core import GMCAlgorithm
 from repro.cost import FlopCount
 from repro.experiments.workload import ChainGenerator
+from repro.kernels.catalog import KernelCatalog, build_default_kernels
 from repro.matching.discrimination_net import legacy_binding
+from repro.matching.match_cache import match_caching_disabled
 
 
 def make_problems(length: int, count: int, seed: int):
@@ -67,14 +83,14 @@ def make_problems(length: int, count: int, seed: int):
     return generator.generate_many(count)
 
 
-def time_solves(problems, repeats: int):
+def time_solves(problems, repeats: int, prune: bool = True):
     """Solve every problem *repeats* times on a fresh algorithm.
 
     Returns (per-problem best times in seconds, solutions of the last pass).
     The metric instance is fresh per call so its kernel-cost cache never
     leaks across configurations.
     """
-    algorithm = GMCAlgorithm(metric=FlopCount())
+    algorithm = GMCAlgorithm(metric=FlopCount(), prune=prune)
     best = [math.inf] * len(problems)
     solutions = [None] * len(problems)
     for _ in range(repeats):
@@ -88,6 +104,126 @@ def time_solves(problems, repeats: int):
     return best, solutions
 
 
+def _solutions_differ(reference, candidate) -> bool:
+    """True when two solutions of the same chain are not identical."""
+    if reference.computable != candidate.computable:
+        return True
+    if not reference.computable:
+        return False
+    return not (
+        math.isclose(
+            float(reference.optimal_cost),
+            float(candidate.optimal_cost),
+            rel_tol=1e-9,
+            abs_tol=1e-9,
+        )
+        and reference.parenthesization() == candidate.parenthesization()
+    )
+
+
+def run_match_cache(lengths, chains_per_length, seed, repeats=1):
+    """Benchmark the signature-keyed match cache + DP pruning.
+
+    Baseline is the PR 1 pipeline (memoized inference + hash consing) with
+    match caching disabled and pruning off; both its timing pass and the
+    cached pipeline's warm pass run with warm inference/interning caches, so
+    the measured ratio isolates the match cache and the pruning.  Every
+    timed pass is run *repeats* times and the best total is kept (cold
+    passes re-clear the caches each time), which suppresses scheduler noise
+    exactly as ``time_solves`` does for the main section.
+    """
+    per_length = []
+    mismatches = []
+    for length in lengths:
+        problems = make_problems(length, chains_per_length, seed + length)
+        # A private catalog => a private match cache, so hit-rate stats are
+        # exact and the process-wide default catalog stays untouched.
+        catalog = KernelCatalog(build_default_kernels(), name="bench")
+        baseline = GMCAlgorithm(catalog=catalog, metric=FlopCount(), prune=False)
+        cached = GMCAlgorithm(catalog=catalog, metric=FlopCount())
+
+        clear_inference_cache()
+        clear_intern_table()
+        baseline_repeat_s = math.inf
+        with match_caching_disabled():
+            for problem in problems:  # warm-up pass (inference, interning)
+                baseline.solve(problem.expression)
+            for _ in range(repeats):
+                start = time.perf_counter()
+                baseline_solutions = [baseline.solve(p.expression) for p in problems]
+                baseline_repeat_s = min(
+                    baseline_repeat_s, time.perf_counter() - start
+                )
+
+        cold_s = math.inf
+        for _ in range(repeats):
+            # A genuinely cold first solve: every cache empty, including the
+            # kernel-cost memo (hence the fresh algorithm/metric per repeat).
+            clear_inference_cache()
+            clear_intern_table()
+            catalog.match_cache.clear()
+            cold_algorithm = GMCAlgorithm(catalog=catalog, metric=FlopCount())
+            start = time.perf_counter()
+            cold_solutions = [cold_algorithm.solve(p.expression) for p in problems]
+            cold_s = min(cold_s, time.perf_counter() - start)
+        for problem in problems:  # warm-up: fill ``cached``'s kernel-cost memo
+            cached.solve(problem.expression)
+        catalog.match_cache.reset_stats()
+        warm_s = math.inf
+        for index in range(repeats):
+            start = time.perf_counter()
+            warm_solutions = [cached.solve(p.expression) for p in problems]
+            warm_s = min(warm_s, time.perf_counter() - start)
+            if index == 0:
+                # Hit rate of the first warm pass, before repeats skew it.
+                hit_rate = catalog.match_cache.hit_rate
+
+        for problem, reference, cold, warm in zip(
+            problems, baseline_solutions, cold_solutions, warm_solutions
+        ):
+            if _solutions_differ(reference, cold) or _solutions_differ(reference, warm):
+                mismatches.append(str(problem))
+
+        entry = {
+            "length": length,
+            "chains": len(problems),
+            "baseline_repeat_total_s": baseline_repeat_s,
+            "cached_cold_total_s": cold_s,
+            "cached_warm_total_s": warm_s,
+            "warm_hit_rate": hit_rate,
+            "warm_speedup_vs_baseline": (
+                baseline_repeat_s / warm_s if warm_s > 0 else math.inf
+            ),
+            "warm_amortization_vs_cold": cold_s / warm_s if warm_s > 0 else math.inf,
+        }
+        per_length.append(entry)
+        print(
+            f"length {length:2d}: baseline-repeat {baseline_repeat_s * 1e3:8.2f} ms, "
+            f"cached cold {cold_s * 1e3:8.2f} ms, warm {warm_s * 1e3:8.2f} ms, "
+            f"hit rate {hit_rate:5.3f}, warm speedup "
+            f"{entry['warm_speedup_vs_baseline']:5.2f}x"
+        )
+
+    long_entries = [entry for entry in per_length if entry["length"] >= 10]
+    long_baseline = sum(e["baseline_repeat_total_s"] for e in long_entries)
+    long_warm = sum(e["cached_warm_total_s"] for e in long_entries)
+    return {
+        "description": (
+            "repeated-solve amortization: signature-keyed match cache + DP "
+            "pruning (warm) vs the memoized-but-uncached, unpruned PR 1 "
+            "baseline; solutions asserted identical across configurations"
+        ),
+        "per_length": per_length,
+        "length_ge_10": {
+            "baseline_repeat_total_s": long_baseline,
+            "cached_warm_total_s": long_warm,
+            "warm_speedup": long_baseline / long_warm if long_warm > 0 else None,
+        },
+        "solutions_match": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
 def run(lengths, chains_per_length, repeats, seed):
     per_length = []
     mismatches = []
@@ -95,12 +231,14 @@ def run(lengths, chains_per_length, repeats, seed):
         problems = make_problems(length, chains_per_length, seed + length)
 
         # Legacy configuration: reference inference, reference match binding,
-        # no hash consing.  The global caches are cleared first so neither
-        # mode free-rides on state warmed up by the other.
+        # no hash consing, no match caching, no split pruning.  The global
+        # caches are cleared first so neither mode free-rides on state
+        # warmed up by the other.
         clear_inference_cache()
         clear_intern_table()
-        with legacy_inference(), interning_disabled(), legacy_binding():
-            legacy_times, legacy_solutions = time_solves(problems, repeats)
+        with legacy_inference(), interning_disabled(), legacy_binding(), \
+                match_caching_disabled():
+            legacy_times, legacy_solutions = time_solves(problems, repeats, prune=False)
 
         clear_inference_cache()
         clear_intern_table()
@@ -197,6 +335,26 @@ def main(argv=None) -> int:
         help="exit non-zero unless the length>=10 speedup is at least X",
     )
     parser.add_argument(
+        "--check-hit-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "exit non-zero unless the warm match-cache hit rate on the "
+            "chain-12 case (or the longest benchmarked length) is at least R"
+        ),
+    )
+    parser.add_argument(
+        "--check-warm-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the warm cached repeated-solve speedup over "
+            "the uncached baseline on chains >= 10 is at least X"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
@@ -204,7 +362,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     if args.smoke:
-        lengths = range(3, 11)
+        # Lengths reach 12 so the CI hit-rate gate sees the chain-12 case.
+        lengths = range(3, 13)
         chains_per_length, repeats = 2, 1
     else:
         lengths = range(args.min_length, args.max_length + 1)
@@ -214,7 +373,12 @@ def main(argv=None) -> int:
             "need max-length >= min-length >= 2, chains-per-length >= 1 and repeats >= 1"
         )
 
+    print("== memoized pipeline vs legacy reference path ==")
     report = run(lengths, chains_per_length, repeats, args.seed)
+    print("\n== match cache + DP pruning vs uncached baseline (repeated solves) ==")
+    report["match_cache"] = run_match_cache(
+        lengths, chains_per_length, args.seed, repeats=repeats
+    )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -223,9 +387,17 @@ def main(argv=None) -> int:
     print(f"overall speedup: {overall:.2f}x")
     if long_speedup is not None:
         print(f"length >= 10 speedup: {long_speedup:.2f}x")
+    warm_speedup = report["match_cache"]["length_ge_10"]["warm_speedup"]
+    if warm_speedup is not None:
+        print(f"warm repeated-solve speedup (length >= 10): {warm_speedup:.2f}x")
 
     if not report["solutions_match"]:
         print("ERROR: legacy and memoized solutions diverged", file=sys.stderr)
+        return 1
+    if not report["match_cache"]["solutions_match"]:
+        print(
+            "ERROR: cached/pruned and baseline solutions diverged", file=sys.stderr
+        )
         return 1
     if args.check_speedup is not None:
         reference = long_speedup if long_speedup is not None else overall
@@ -233,6 +405,27 @@ def main(argv=None) -> int:
             print(
                 f"ERROR: speedup {reference:.2f}x below required "
                 f"{args.check_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.check_hit_rate is not None:
+        entries = report["match_cache"]["per_length"]
+        gated = [e for e in entries if e["length"] == 12] or entries[-1:]
+        hit_rate = gated[0]["warm_hit_rate"]
+        if hit_rate < args.check_hit_rate:
+            print(
+                f"ERROR: warm match-cache hit rate {hit_rate:.3f} on the "
+                f"chain-{gated[0]['length']} case below required "
+                f"{args.check_hit_rate:.3f}",
+                file=sys.stderr,
+            )
+            return 1
+    if args.check_warm_speedup is not None:
+        if warm_speedup is None or warm_speedup < args.check_warm_speedup:
+            print(
+                f"ERROR: warm repeated-solve speedup "
+                f"{warm_speedup if warm_speedup is not None else float('nan'):.2f}x "
+                f"below required {args.check_warm_speedup:.2f}x",
                 file=sys.stderr,
             )
             return 1

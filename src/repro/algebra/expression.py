@@ -33,8 +33,10 @@ class Expression:
     #: the already-cached hashes of its children instead of re-walking the
     #: whole subtree on every dict lookup.  ``_token_cache`` and
     #: ``_flat_cache`` are reserved for the discrimination net's per-node
-    #: trie token and preorder flattening (both computed lazily).
-    __slots__ = ("_key_cache", "_hash_cache", "_token_cache", "_flat_cache")
+    #: trie token and preorder flattening, and ``_sig_cache`` for the
+    #: shape/property signature of :meth:`signature` (all computed lazily
+    #: on first use).
+    __slots__ = ("_key_cache", "_hash_cache", "_token_cache", "_flat_cache", "_sig_cache")
 
     #: Child expressions (empty tuple for leaves).
     children: Tuple["Expression", ...] = ()
@@ -175,6 +177,46 @@ class Expression:
         key = self._key()
         object.__setattr__(self, "_key_cache", key)
         object.__setattr__(self, "_hash_cache", hash((type(self).__name__, key)))
+
+    def signature(self) -> Tuple:
+        """Shape/property signature: a compact, hashable digest of this tree.
+
+        The signature abstracts over *operand names*: it records the operator
+        skeleton (node type and arity, in preorder), the dimensions and the
+        declared property set of every :class:`Matrix` leaf, and -- crucially
+        for non-linear patterns such as SYRK's ``X^T X`` -- the *equality
+        pattern* of the leaves, as first-occurrence indices.  Two expressions
+        with equal signatures are therefore indistinguishable to any purely
+        structural analysis: syntactic kernel matching, shape/property
+        constraints and symbolic property inference all produce corresponding
+        results on them.  This is the cache key of the signature-keyed
+        kernel-match cache (:mod:`repro.matching.match_cache`), which lets
+        structurally similar DP cells -- and repeated solves, whose fresh
+        temporaries differ only by name -- reuse match results.
+
+        Non-matrix leaves (pattern wildcards) keep their full structural key,
+        so distinct patterns never collide.  The result is cached on the node
+        (expressions are immutable), so with hash-consed nodes it is computed
+        once per canonical subtree.
+        """
+        try:
+            return self._sig_cache
+        except AttributeError:
+            pass
+        leaf_ids: dict = {}
+        parts = []
+        for node in self.preorder():
+            if node.children:
+                parts.append((type(node).__name__, len(node.children)))
+            elif isinstance(node, Matrix):
+                key = node.structural_key()
+                index = leaf_ids.setdefault(key, len(leaf_ids))
+                parts.append((index, node.rows, node.columns, node.properties))
+            else:
+                parts.append((type(node).__name__, node.structural_key()))
+        signature = tuple(parts)
+        object.__setattr__(self, "_sig_cache", signature)
+        return signature
 
     def __eq__(self, other: object) -> bool:
         if self is other:

@@ -440,6 +440,29 @@ PREDICATES: Dict[Property, Callable[[Expression], bool]] = _PredicateRegistry({
 _BUILTIN_PREDICATE_FUNCS: Dict[Property, Callable[[Expression], bool]] = dict(PREDICATES)
 
 
+def registry_version() -> int:
+    """Mutation counter of :data:`PREDICATES`.
+
+    Caches whose entries embed predicate semantics (the memoized inference
+    engine, the kernel-match cache) record this value and invalidate
+    themselves whenever it changes.
+    """
+    return PREDICATES.version  # type: ignore[attr-defined]
+
+
+def registry_is_customized() -> bool:
+    """True while :data:`PREDICATES` differs from the built-in predicate set.
+
+    While customized, structure-keyed caches must step aside: a user
+    predicate may inspect anything about an expression (even operand names),
+    so results are no longer a function of shape/property structure alone.
+    """
+    return len(PREDICATES) != len(_BUILTIN_PREDICATE_FUNCS) or any(
+        PREDICATES.get(prop) is not func
+        for prop, func in _BUILTIN_PREDICATE_FUNCS.items()
+    )
+
+
 def has_property_legacy(expr: Expression, prop: Property) -> bool:
     """Test a single property using the reference (per-predicate) path."""
     if prop is Property.SQUARE:
@@ -721,10 +744,7 @@ class PropertyInference:
         """
         self._registry_version = PREDICATES.version  # type: ignore[attr-defined]
         self.clear()
-        self._registry_custom = len(PREDICATES) != len(_BUILTIN_PREDICATE_FUNCS) or any(
-            PREDICATES.get(prop) is not func
-            for prop, func in _BUILTIN_PREDICATE_FUNCS.items()
-        )
+        self._registry_custom = registry_is_customized()
 
     # ------------------------------------------------------------------- raw
     def raw_properties(self, expr: Expression) -> FrozenSet[Property]:

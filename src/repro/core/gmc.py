@@ -16,24 +16,31 @@ are:
     The symbolic operand representing the sub-chain ``M[i..j]``: the wrapped
     input factor when ``i == j``, otherwise a
     :class:`~repro.algebra.expression.Temporary` annotated with the inferred
-    properties of the sub-chain.
+    properties of the sub-chain (``None`` for uncomputable cells, which
+    never materialize a temporary).
 ``costs[i][j]``
     The minimal accumulated metric value for computing ``M[i..j]``.
-``kernels[i][j]``
+``choices[i][j]``
     The kernel (and its substitution) chosen for the top-level operation of
     the optimal computation of ``M[i..j]``.
-``solution[i][j]``
+``splits[i][j]``
     The optimal split point ``k`` (the role of the ``s`` table in CLRS).
 
 Deviations from the pseudocode, all discussed in the paper:
 
 * property inference runs once per ``(i, j)`` cell (on the sub-chain
   expression) instead of once per split, realizing the ``O(n^3 + n^2 p)``
-  refinement of Section 3.4;
+  refinement of Section 3.4; cells with no computable split skip it
+  entirely (no temporary is materialized for a provably dead cell);
 * the metric is arbitrary (Section 3.3), not hard-wired to FLOPs;
 * when no kernel matches a split the split simply gets infinite cost; the
   chain as a whole is still solved when another parenthesization is
-  computable (completeness discussion of Section 3.4).
+  computable (completeness discussion of Section 3.4);
+* splits whose accumulated lower bound (:meth:`CostMetric.lower_bound` over
+  the already-known sub-chain costs) cannot beat the cell's best-so-far are
+  pruned before kernel matching -- a Hu/Shing-flavoured dominance reduction
+  generalized to property-dependent kernel costs (disable with
+  ``GMCAlgorithm(prune=False)`` to force the exhaustive reference loop).
 """
 
 from __future__ import annotations
@@ -110,11 +117,25 @@ class GMCSolution:
         return self.tmps[0][self.length - 1]
 
     # ------------------------------------------------------- solution access
+    def kernel_calls(self) -> List[KernelCall]:
+        """The kernel calls of the optimal solution, in dependency order.
+
+        The list is materialized from :meth:`construct_solution` once and
+        reused by every consumer (:meth:`program`, :attr:`total_flops`,
+        :meth:`kernel_sequence`), which previously each re-ran the recursion.
+        """
+        calls = getattr(self, "_calls_cache", None)
+        if calls is None:
+            calls = list(self.construct_solution())
+            self._calls_cache = calls
+        return calls
+
     def construct_solution(self, i: int = 0, j: Optional[int] = None) -> Iterator[KernelCall]:
         """Yield the kernel calls of the optimal solution in dependency order.
 
         This is the recursive generator of Fig. 7 of the paper; kernels for
-        sub-chains are emitted before the kernel that consumes them.
+        sub-chains are emitted before the kernel that consumes them.  Callers
+        that only need the full list should prefer :meth:`kernel_calls`.
         """
         if j is None:
             j = self.length - 1
@@ -142,9 +163,8 @@ class GMCSolution:
 
     def program(self, strategy_name: str = "GMC") -> Program:
         """Materialize the optimal kernel sequence as a :class:`Program`."""
-        calls = list(self.construct_solution())
         return Program(
-            calls=calls,
+            calls=list(self.kernel_calls()),
             output=self.output,
             expression=self.expression,
             strategy=strategy_name,
@@ -153,11 +173,11 @@ class GMCSolution:
     @property
     def total_flops(self) -> float:
         """FLOP count of the chosen solution (regardless of the metric)."""
-        return sum(call.flops for call in self.construct_solution())
+        return sum(call.flops for call in self.kernel_calls())
 
     def kernel_sequence(self) -> List[str]:
         """The kernel family names of the solution, in execution order."""
-        return [call.kernel.display_name for call in self.construct_solution()]
+        return [call.kernel.display_name for call in self.kernel_calls()]
 
     def parenthesization(self) -> str:
         """Render the chosen parenthesization, e.g. ``(A^-1 * (B * C^T))``."""
@@ -202,6 +222,12 @@ class GMCAlgorithm:
     metric:
         The cost metric to minimize; a :class:`CostMetric`, a metric name
         (``"flops"``, ``"time"``, ...) or ``None`` for FLOPs.
+    prune:
+        Skip splits whose lower-bounded accumulated cost
+        (:meth:`CostMetric.lower_bound`) already meets or exceeds the cell's
+        best-so-far, avoiding their kernel matching entirely.  The optimum
+        is unaffected (the bound is sound for every metric that reports
+        one); disable to time or differentially test the exhaustive loop.
 
     Example
     -------
@@ -218,9 +244,11 @@ class GMCAlgorithm:
         self,
         catalog: Optional[KernelCatalog] = None,
         metric: Union[CostMetric, str, None] = None,
+        prune: bool = True,
     ) -> None:
         self.catalog = catalog if catalog is not None else default_catalog()
         self.metric = resolve_metric(metric)
+        self.prune = prune
 
     # ------------------------------------------------------------------ API
     def solve(self, chain: ChainLike) -> GMCSolution:
@@ -269,28 +297,26 @@ class GMCAlgorithm:
         for i, factor in enumerate(factors):
             tmps[i][i] = factor  # type: ignore[assignment]
 
+        prune = self.prune
         for length in range(1, n):
             for i in range(0, n - length):
                 j = i + length
-                # Properties of M[i..j] do not depend on the split, so the
-                # temporary (and its property inference) is created once per
-                # cell -- the O(n^2 p) refinement of Section 3.4.  The
-                # sub-chain is interned so inference memoizes per canonical
-                # node across cells (and across repeated solves).
-                sub_chain = intern(Times(*factors[i : j + 1]))
-                tmp = Temporary(
-                    rows=sub_chain.rows,
-                    columns=sub_chain.columns,
-                    properties=infer_properties(sub_chain),
-                    origin=sub_chain,
-                )
                 best_cost = costs[i][j]
                 best_choice: Optional[_CellChoice] = None
                 for k in range(i, j):
                     left_cost = costs[i][k]
                     right_cost = costs[k + 1][j]
+                    # Uncomputability propagation: a split over a dead
+                    # sub-chain is dead; it never reaches kernel matching.
                     if metric.is_infinite(left_cost) or metric.is_infinite(right_cost):
                         continue
+                    if prune and best_choice is not None:
+                        # The accumulated cost of this split is at least the
+                        # lower bound; when that already fails to beat the
+                        # best-so-far, matching cannot change the outcome.
+                        bound = metric.lower_bound(left_cost, right_cost)
+                        if bound is not None and not bound < best_cost:
+                            continue
                     expr = Times(tmps[i][k], tmps[k + 1][j])
                     matched = self._best_kernel(expr)
                     if matched is None:
@@ -307,10 +333,22 @@ class GMCAlgorithm:
                             kernel_cost=kernel_cost,
                         )
                 if best_choice is not None:
+                    # Properties of M[i..j] do not depend on the split, so
+                    # the temporary (and its property inference) is created
+                    # once per *computable* cell -- the O(n^2 p) refinement
+                    # of Section 3.4; dead cells never pay inference.  The
+                    # sub-chain is interned so inference memoizes per
+                    # canonical node across cells (and repeated solves).
+                    sub_chain = intern(Times(*factors[i : j + 1]))
                     costs[i][j] = best_cost
                     splits[i][j] = best_choice.split
                     choices[i][j] = best_choice
-                    tmps[i][j] = tmp
+                    tmps[i][j] = Temporary(
+                        rows=sub_chain.rows,
+                        columns=sub_chain.columns,
+                        properties=infer_properties(sub_chain),
+                        origin=sub_chain,
+                    )
 
         return GMCSolution(
             factors=factors,

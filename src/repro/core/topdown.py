@@ -34,7 +34,11 @@ from .gmc import ChainLike, UncomputableChainError, _coerce_chain
 
 @dataclass
 class _SubChain:
-    """Memoized solution of one sub-chain ``M[i..j]``."""
+    """Memoized solution of one sub-chain ``M[i..j]``.
+
+    ``operand`` is ``None`` for uncomputable cells: a dead cell never
+    materializes a temporary (nor pays its property inference).
+    """
 
     cost: object
     split: int
@@ -42,7 +46,7 @@ class _SubChain:
     substitution: Optional[Substitution]
     expression: Optional[Expression]
     kernel_cost: object
-    operand: Matrix
+    operand: Optional[Matrix]
 
 
 @dataclass
@@ -69,6 +73,14 @@ class TopDownSolution:
     def computable(self) -> bool:
         return not self.metric.is_infinite(self.optimal_cost)
 
+    def kernel_calls(self) -> List[KernelCall]:
+        """The optimal kernel-call list, materialized once and reused."""
+        calls = getattr(self, "_calls_cache", None)
+        if calls is None:
+            calls = list(self.construct_solution())
+            self._calls_cache = calls
+        return calls
+
     def construct_solution(self, i: int = 0, j: Optional[int] = None) -> Iterator[KernelCall]:
         """Yield the kernel calls of the optimal solution (Fig. 7 order)."""
         if j is None:
@@ -93,7 +105,7 @@ class TopDownSolution:
         )
 
     def program(self, strategy_name: str = "GMC (top-down)") -> Program:
-        calls = list(self.construct_solution())
+        calls = list(self.kernel_calls())
         output = calls[-1].output if calls else (
             self.factors[0] if isinstance(self.factors[0], Matrix) else None
         )
@@ -106,10 +118,10 @@ class TopDownSolution:
 
     @property
     def total_flops(self) -> float:
-        return sum(call.flops for call in self.construct_solution())
+        return sum(call.flops for call in self.kernel_calls())
 
     def kernel_sequence(self) -> List[str]:
-        return [call.kernel.display_name for call in self.construct_solution()]
+        return [call.kernel.display_name for call in self.kernel_calls()]
 
     def parenthesization(self) -> str:
         def render(i: int, j: int) -> str:
@@ -136,9 +148,11 @@ class TopDownGMC:
         self,
         catalog: Optional[KernelCatalog] = None,
         metric: Union[CostMetric, str, None] = None,
+        prune: bool = True,
     ) -> None:
         self.catalog = catalog if catalog is not None else default_catalog()
         self.metric = resolve_metric(metric)
+        self.prune = prune
 
     def solve(self, chain: ChainLike) -> TopDownSolution:
         factors, expression = _coerce_chain(chain)
@@ -177,13 +191,23 @@ class TopDownGMC:
                 substitution=None,
                 expression=None,
                 kernel_cost=self.metric.infinity,
-                operand=operand_for(i, j),
+                # Lazily filled below: dead cells never create a temporary.
+                operand=None,
             )
             for k in range(i, j):
                 left_cost = lookup(i, k)
                 right_cost = lookup(k + 1, j)
+                # Uncomputability propagation: dead sub-chains never reach
+                # kernel matching.
                 if self.metric.is_infinite(left_cost) or self.metric.is_infinite(right_cost):
                     continue
+                if self.prune and best.kernel is not None:
+                    # Lower-bound pruning (see GMCAlgorithm): a split whose
+                    # bound cannot beat the best-so-far is skipped before
+                    # matching.
+                    bound = self.metric.lower_bound(left_cost, right_cost)
+                    if bound is not None and not bound < best.cost:
+                        continue
                 expr = Times(operand_for(i, k), operand_for(k + 1, j))
                 choice = self._best_kernel(expr)
                 if choice is None:

@@ -16,6 +16,7 @@ cheap inside the ``O(n^3)`` loop.
 from __future__ import annotations
 
 import math
+from collections import OrderedDict
 from typing import Callable, Optional, Sequence, Tuple
 
 from ..kernels.kernel import Kernel
@@ -42,6 +43,15 @@ class CostMetric:
     #: substitution).  Metrics with mutable state must set this to ``False``
     #: so :meth:`kernel_cost_cached` never serves stale values.
     cacheable: bool = True
+    #: Whether every kernel cost is guaranteed to be >= :attr:`zero` under
+    #: :meth:`combine`.  True for all built-in metrics (FLOPs, time, traffic,
+    #: penalties are non-negative); metrics that cannot promise it set this
+    #: to ``False``, which disables :meth:`lower_bound` (and with it the DP
+    #: split pruning, which is only sound for non-negative kernel costs).
+    nonnegative: bool = True
+    #: Bound on the :meth:`kernel_cost_cached` memo; the least recently used
+    #: entry is evicted when a new one would exceed it.
+    cost_cache_size: int = 100_000
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> object:
         """Cost of applying *kernel* to the matched operands."""
@@ -59,26 +69,51 @@ class CostMetric:
         hashing is O(1) amortized thanks to the cached expression hashes.
         Metrics that are not pure set :attr:`cacheable` to ``False`` and are
         never cached.
+
+        The memo is a bounded LRU (:attr:`cost_cache_size` entries): overflow
+        evicts only the coldest entry, so a long-running service keeps its
+        working set warm instead of periodically re-deriving every cost from
+        scratch, as the previous wholesale ``clear()``-at-capacity reset did.
         """
         if not self.cacheable:
             return self.kernel_cost(kernel, substitution)
         try:
             cache = self._cost_cache
         except AttributeError:
-            cache = {}
+            cache = OrderedDict()
             self._cost_cache = cache
         key = (kernel, substitution)
         cost = cache.get(key)
         if cost is None:
             cost = self.kernel_cost(kernel, substitution)
-            if len(cache) >= 100_000:
-                cache.clear()
+            if len(cache) >= self.cost_cache_size:
+                cache.popitem(last=False)
             cache[key] = cost
+        else:
+            cache.move_to_end(key)
         return cost
 
     def combine(self, left: object, right: object) -> object:
         """Accumulate two costs (defaults to addition)."""
         return left + right  # type: ignore[operator]
+
+    def lower_bound(self, left_cost: object, right_cost: object) -> Optional[object]:
+        """Lower bound on the cost of any split with these sub-chain costs.
+
+        Before matching a candidate split ``(M[i..k], M[k+1..j])`` against
+        the catalog, its accumulated cost is already at least
+        ``combine(left_cost, right_cost)`` -- whatever kernel matches can
+        only add a non-negative amount.  The DP solvers compare this bound
+        against the cell's best-so-far and skip the (expensive) matching and
+        kernel-cost evaluation for splits that provably cannot win.
+
+        Returns ``None`` when no bound is available (the metric does not
+        guarantee non-negative kernel costs); callers must then evaluate the
+        split fully.
+        """
+        if not self.nonnegative:
+            return None
+        return self.combine(left_cost, right_cost)
 
     def is_infinite(self, cost: object) -> bool:
         return cost == self.infinity or (
@@ -191,6 +226,9 @@ class WeightedSumMetric(CostMetric):
             raise ValueError("WeightedSumMetric requires at least one component")
         self.components = tuple(components)
         self.cacheable = all(metric.cacheable for metric, _ in self.components)
+        self.nonnegative = all(
+            metric.nonnegative and weight >= 0 for metric, weight in self.components
+        )
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> float:
         return sum(
@@ -218,6 +256,10 @@ class VectorMetric(CostMetric):
         self.zero = tuple(0.0 for _ in self.components)
         self.infinity = tuple(math.inf for _ in self.components)
         self.cacheable = all(metric.cacheable for metric in self.components)
+        # Componentwise non-negativity implies the lexicographic bound of
+        # ``lower_bound`` is sound: adding a componentwise >= 0 kernel cost
+        # never makes a tuple lexicographically smaller.
+        self.nonnegative = all(metric.nonnegative for metric in self.components)
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> Tuple[float, ...]:
         return tuple(
@@ -236,7 +278,9 @@ class CustomMetric(CostMetric):
 
     User functions may close over mutable state, so custom metrics are
     conservatively excluded from kernel-cost caching; pass
-    ``cacheable=True`` when the function is pure.
+    ``cacheable=True`` when the function is pure.  Likewise they may return
+    negative costs, so DP split pruning is off unless ``nonnegative=True``
+    promises that the function never does.
     """
 
     def __init__(
@@ -244,10 +288,12 @@ class CustomMetric(CostMetric):
         function: Callable[[Kernel, Substitution], float],
         name: str = "custom",
         cacheable: bool = False,
+        nonnegative: bool = False,
     ) -> None:
         self._function = function
         self.name = name
         self.cacheable = cacheable
+        self.nonnegative = nonnegative
 
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> float:
         return float(self._function(kernel, substitution))

@@ -23,7 +23,9 @@ from functools import lru_cache
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.expression import Expression
+from ..matching import match_cache as _match_cache
 from ..matching.discrimination_net import DiscriminationNet
+from ..matching.match_cache import MatchCache
 from ..matching.patterns import Substitution
 from . import blas, blas2, lapack
 from .kernel import Kernel
@@ -43,6 +45,7 @@ class KernelCatalog:
         self._net = DiscriminationNet(
             (kernel.pattern, kernel) for kernel in self._kernels
         )
+        self._match_cache = MatchCache(self._net)
 
     # ------------------------------------------------------------ inspection
     @property
@@ -75,9 +78,22 @@ class KernelCatalog:
         return seen
 
     # -------------------------------------------------------------- matching
+    @property
+    def match_cache(self) -> MatchCache:
+        """The signature-keyed cache serving :meth:`match` (for stats/reset)."""
+        return self._match_cache
+
     def match(self, expr: Expression) -> List[Tuple[Kernel, Substitution]]:
         """Return every ``(kernel, substitution)`` pair whose pattern (and
-        constraints) match *expr*."""
+        constraints) match *expr*.
+
+        Served through the signature-keyed match cache: subjects whose
+        shape/property signature was seen before reuse the kernel list and a
+        re-bound substitution without walking the discrimination net (see
+        :mod:`repro.matching.match_cache`, including the invalidation rules).
+        """
+        if _match_cache._ENABLED:
+            return self._match_cache.match(expr)
         results: List[Tuple[Kernel, Substitution]] = []
         for _, substitution, payload in self._net.match(expr):
             results.append((payload, substitution))
@@ -151,12 +167,27 @@ def build_default_kernels(
     return kernels
 
 
-@lru_cache(maxsize=8)
 def default_catalog(
     include_combined_inverse: bool = True,
     include_specialized: bool = True,
 ) -> KernelCatalog:
-    """The full BLAS/LAPACK-style catalog the paper assumes (cached)."""
+    """The full BLAS/LAPACK-style catalog the paper assumes (cached).
+
+    The cache key is normalized before the ``lru_cache`` lookup, so
+    ``default_catalog()``, ``default_catalog(True, True)`` and
+    ``default_catalog(include_combined_inverse=True)`` all return the *same*
+    object.  (``lru_cache`` keys raw call shapes, under which those three
+    spellings are distinct -- each used to build its own duplicate catalog,
+    fragmenting every cache keyed by kernel or catalog identity.)
+    """
+    return _default_catalog(bool(include_combined_inverse), bool(include_specialized))
+
+
+@lru_cache(maxsize=8)
+def _default_catalog(
+    include_combined_inverse: bool,
+    include_specialized: bool,
+) -> KernelCatalog:
     suffix = []
     if not include_combined_inverse:
         suffix.append("no-gesv2")
@@ -170,6 +201,11 @@ def default_catalog(
         ),
         name=name,
     )
+
+
+#: Expose the underlying cache controls on the public wrapper.
+default_catalog.cache_clear = _default_catalog.cache_clear  # type: ignore[attr-defined]
+default_catalog.cache_info = _default_catalog.cache_info  # type: ignore[attr-defined]
 
 
 @lru_cache(maxsize=1)

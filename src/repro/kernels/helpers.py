@@ -21,9 +21,15 @@ from ..algebra.expression import Expression, Matrix
 from ..algebra.inference import has_property
 from ..algebra.operators import Inverse, InverseTranspose, Times, Transpose
 from ..algebra.properties import Property
-from ..matching.patterns import Constraint, Substitution, Wildcard
+from ..matching.patterns import (
+    Constraint,
+    Substitution,
+    Wildcard,
+    structural_predicate,
+)
 
 
+@structural_predicate
 def _is_operand(expr: Expression) -> bool:
     """Kernel operands must be actual leaves (matrices, vectors, temporaries),
     never compound sub-expressions: a GEMM pattern ``X * Y`` must not bind
@@ -111,7 +117,8 @@ def _shape_constraint(name: str, predicate: Callable[[Expression], bool], text: 
         expr = substitution.get(name)
         return expr is not None and predicate(expr)
 
-    return Constraint(check, f"{text}({name})")
+    # Shape checks read only dimensions, which the signature captures.
+    return Constraint(structural_predicate(check), f"{text}({name})")
 
 
 def has(name: str, prop: Property) -> Constraint:
@@ -121,7 +128,10 @@ def has(name: str, prop: Property) -> Constraint:
         expr = substitution.get(name)
         return expr is not None and has_property(expr, prop)
 
-    return Constraint(check, f"is_{prop.value}({name})")
+    # Property checks go through symbolic inference, which is a function of
+    # structure + declared leaf properties (registry customization is
+    # handled separately by the match cache's version watch / bypass).
+    return Constraint(structural_predicate(check), f"is_{prop.value}({name})")
 
 
 def lower(name: str) -> Constraint:
@@ -183,4 +193,4 @@ def not_diagonal(name: str) -> Constraint:
         expr = substitution.get(name)
         return expr is not None and not has_property(expr, Property.DIAGONAL)
 
-    return Constraint(check, f"is_not_diagonal({name})")
+    return Constraint(structural_predicate(check), f"is_not_diagonal({name})")

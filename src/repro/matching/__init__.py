@@ -6,6 +6,7 @@ paper's reference implementation (Section 3.1).
 """
 
 from .discrimination_net import DiscriminationNet, legacy_binding
+from .match_cache import MatchCache, match_caching_disabled
 from .patterns import (
     Constraint,
     Pattern,
@@ -26,4 +27,6 @@ __all__ = [
     "property_constraint",
     "DiscriminationNet",
     "legacy_binding",
+    "MatchCache",
+    "match_caching_disabled",
 ]

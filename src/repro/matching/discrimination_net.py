@@ -32,7 +32,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..algebra.expression import Expression
 from ..algebra.operators import Inverse, InverseTranspose, Plus, Times, Transpose
-from .patterns import Pattern, Substitution, Wildcard
+from .patterns import Pattern, Substitution, Wildcard, is_structural_predicate
 
 _WILDCARD_TOKEN = "*"
 
@@ -192,6 +192,22 @@ class DiscriminationNet:
     def __init__(self, patterns: Sequence[Tuple[Pattern, object]] = ()) -> None:
         self._root = _Node()
         self._size = 0
+        #: Bumped on every :meth:`add`; signature-keyed match caches record
+        #: the value they were filled against and flush when it moves, so an
+        #: extended net never serves a stale (pre-extension) kernel list.
+        self.version = 0
+        #: True once any pattern contains a concrete (non-wildcard) leaf.
+        #: Concrete leaves match by full structural key -- including the
+        #: operand *name* -- which the name-abstracting signature cannot
+        #: distinguish, so caches must bypass such nets.  No stock kernel
+        #: pattern has concrete leaves.
+        self.has_concrete_leaf_patterns = False
+        #: True once any pattern carries a wildcard predicate or constraint
+        #: not marked by :func:`~repro.matching.patterns.structural_predicate`.
+        #: An unmarked callable may observe details the signature abstracts
+        #: away (operand names, external state), so caches must bypass such
+        #: nets too.  All stock kernel constraints are marked.
+        self.has_opaque_predicates = False
         for pattern, payload in patterns:
             self.add(pattern, payload)
 
@@ -201,6 +217,9 @@ class DiscriminationNet:
     def add(self, pattern: Pattern, payload: object = None) -> None:
         """Insert a pattern (with an optional payload) into the net."""
         tokens, names = _flatten_pattern(pattern.expression)
+        self.version += 1
+        if any(token != _WILDCARD_TOKEN and token[0] == "leaf" for token in tokens):
+            self.has_concrete_leaf_patterns = True
         wildcards_by_name = {
             wildcard.name: wildcard
             for wildcard in pattern.expression.preorder()
@@ -210,6 +229,13 @@ class DiscriminationNet:
         slot_predicates = tuple(
             wildcards_by_name[name].predicate for name in slot_names
         )
+        if not all(
+            is_structural_predicate(predicate) for predicate in slot_predicates
+        ) or not all(
+            is_structural_predicate(constraint.predicate)
+            for constraint in pattern.constraints
+        ):
+            self.has_opaque_predicates = True
         node = self._root
         slot = 0
         for token in tokens:

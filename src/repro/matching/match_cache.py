@@ -1,0 +1,202 @@
+"""Signature-keyed caching of kernel-match results.
+
+Profiling shows that the per-split matching step of the GMC dynamic program
+-- the discrimination-net walk plus constraint checks -- dominates generation
+time even after expression hash-consing, and that structurally identical
+cells re-pay it on every solve: a DP cell's subject is ``Times(left, right)``
+over two operands, and the *outcome* of matching depends only on the
+operands' shapes, declared properties and equality structure, never on their
+names.  Repeated solves of the same (or a similar) chain create fresh
+temporaries each time, so identity- or equality-keyed caches miss; a cache
+keyed by the name-abstracted :meth:`~repro.algebra.expression.Expression.signature`
+hits.
+
+:class:`MatchCache` sits in front of :meth:`KernelCatalog.match
+<repro.kernels.catalog.KernelCatalog.match>`:
+
+* on a **miss** it walks the discrimination net once, returns the matches,
+  and records -- per matched kernel -- the *preorder position* of every
+  wildcard binding inside the subject;
+* on a **hit** it skips the net walk and constraint checks entirely and
+  re-binds each recorded substitution against the new subject: the operand
+  at the same preorder position of a signature-equal subject is the
+  corresponding one, and it satisfies the same constraints by construction
+  (signatures capture exactly what constraints can observe).
+
+Invalidation
+------------
+Cached kernel lists embed two kinds of semantics that can change:
+
+* **catalog extension** -- adding a pattern to the net would make every
+  cached list stale; the cache records the net's ``version`` and flushes
+  when it moves (catalogs built via ``KernelCatalog.extended`` get a fresh
+  net *and* a fresh cache, so they are safe either way);
+* **predicate-registry mutation** -- constraints evaluate properties through
+  :data:`repro.algebra.inference.PREDICATES`; the cache records the registry
+  version and flushes on any change, and while the registry is *customized*
+  (differs from the built-in set) it bypasses caching entirely, because a
+  user predicate may inspect details the signature abstracts away.
+
+The cache additionally bypasses nets containing concrete-leaf patterns
+(which match on operand names), nets containing wildcard predicates or
+constraints not marked :func:`~repro.matching.patterns.structural_predicate`
+(user-supplied callables may observe what the signature abstracts away),
+and subjects containing wildcards.  Entries
+are evicted LRU-style under a configurable bound, so long-running (batch /
+server) processes hold their working set instead of resetting wholesale.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from ..algebra.expression import Expression
+from ..algebra.inference import registry_is_customized, registry_version
+from .discrimination_net import DiscriminationNet, _flatten_subject
+from .patterns import Substitution, Wildcard
+
+__all__ = ["MatchCache", "match_caching_disabled"]
+
+
+#: Per-kernel re-binding recipe: the matched payload (kernel) plus, for every
+#: wildcard of its pattern, the name and the preorder position of the subject
+#: node it bound to.
+_CachedMatch = Tuple[object, Tuple[Tuple[str, int], ...]]
+
+#: Module-level switch consulted by ``KernelCatalog.match``; flipped by
+#: :func:`match_caching_disabled` so benchmarks and differential tests can
+#: measure the uncached reference path.
+_ENABLED = True
+
+
+@contextmanager
+def match_caching_disabled() -> Iterator[None]:
+    """Route ``KernelCatalog.match`` around the match cache while active."""
+    global _ENABLED
+    previous = _ENABLED
+    _ENABLED = False
+    try:
+        yield
+    finally:
+        _ENABLED = previous
+
+
+class MatchCache:
+    """An LRU-bounded cache of net-match results keyed by subject signature.
+
+    One instance serves one :class:`DiscriminationNet`; the kernel catalog
+    owns the pairing.  ``match`` is a drop-in replacement for collecting the
+    net's ``(payload, substitution)`` pairs.
+    """
+
+    def __init__(self, net: DiscriminationNet, max_entries: int = 100_000) -> None:
+        self._net = net
+        self._entries: "OrderedDict[Tuple, List[_CachedMatch]]" = OrderedDict()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+        self._net_version = net.version
+        self._registry_version = registry_version()
+        self._registry_custom = registry_is_customized()
+
+    # -------------------------------------------------------------- inspection
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of cacheable lookups answered without a net walk."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+    def clear(self) -> None:
+        """Drop all entries (and re-sync the watched versions)."""
+        self._entries.clear()
+        self._net_version = self._net.version
+        self._registry_version = registry_version()
+        self._registry_custom = registry_is_customized()
+
+    # ------------------------------------------------------------------ lookup
+    def match(self, subject: Expression) -> List[Tuple[object, Substitution]]:
+        """All ``(payload, substitution)`` pairs matching *subject*.
+
+        Equivalent to walking the net directly; the walk is skipped when a
+        signature-equal subject was matched before.
+        """
+        if self._registry_version != registry_version():
+            self.clear()
+        net = self._net
+        if (
+            self._registry_custom
+            or net.has_concrete_leaf_patterns
+            or net.has_opaque_predicates
+        ):
+            return [
+                (payload, substitution)
+                for _, substitution, payload in self._net.match(subject)
+            ]
+        if self._net_version != self._net.version:
+            self.clear()
+
+        signature = subject.signature()
+        cached = self._entries.get(signature)
+        if cached is not None:
+            self.hits += 1
+            self._entries.move_to_end(signature)
+            nodes, _ = _flatten_subject(subject)
+            results: List[Tuple[object, Substitution]] = []
+            for payload, slots in cached:
+                results.append(
+                    (
+                        payload,
+                        Substitution._from_owned_dict(
+                            {name: nodes[position] for name, position in slots}
+                        ),
+                    )
+                )
+            return results
+
+        self.misses += 1
+        nodes, _ = _flatten_subject(subject)
+        results = []
+        entry: Optional[List[_CachedMatch]] = []
+        for _, substitution, payload in self._net.match(subject):
+            results.append((payload, substitution))
+            if entry is not None:
+                slots = _binding_slots(nodes, substitution)
+                entry = None if slots is None else entry + [(payload, slots)]
+        if entry is not None and not any(
+            isinstance(node, Wildcard) for node in nodes
+        ):
+            if len(self._entries) >= self.max_entries:
+                self._entries.popitem(last=False)
+            self._entries[signature] = entry
+        return results
+
+
+def _binding_slots(
+    nodes: List[Expression], substitution: Substitution
+) -> Optional[Tuple[Tuple[str, int], ...]]:
+    """Locate every bound operand inside the subject's preorder node list.
+
+    Any structurally equal occurrence is a valid anchor: signature-equal
+    subjects have identical equality patterns, so the node at the same
+    position of a future subject is structurally interchangeable with the
+    "true" binding position.  Returns ``None`` when a binding cannot be
+    anchored (never the case for net-produced substitutions; kept defensive).
+    """
+    slots: List[Tuple[str, int]] = []
+    for name, value in substitution.items():
+        for position, node in enumerate(nodes):
+            if node is value or node == value:
+                slots.append((name, position))
+                break
+        else:
+            return None
+    return tuple(slots)

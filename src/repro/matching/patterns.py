@@ -161,6 +161,28 @@ class Substitution(Mapping[str, Expression]):
         return value
 
 
+def structural_predicate(callable_):
+    """Mark a predicate/constraint callable as *structural*.
+
+    A structural callable is a pure function of operand shapes, declared or
+    symbolically inferred properties, and expression structure -- exactly
+    the information the shape/property signature
+    (:meth:`~repro.algebra.expression.Expression.signature`) captures.  The
+    signature-keyed match cache only caches results of patterns whose
+    wildcard predicates and constraints are all marked structural; an
+    unmarked callable (which may inspect operand names, close over mutable
+    state, ...) routes its whole net around the cache.  All stock kernel
+    constraints carry the mark.
+    """
+    callable_.structural = True
+    return callable_
+
+
+def is_structural_predicate(callable_) -> bool:
+    """True for ``None`` and for callables marked by :func:`structural_predicate`."""
+    return callable_ is None or getattr(callable_, "structural", False)
+
+
 class Constraint:
     """A named predicate over a :class:`Substitution`.
 
@@ -199,7 +221,9 @@ def property_constraint(wildcard_name: str, prop) -> Constraint:
             return False
         return has_property(expr, prop)
 
-    return Constraint(predicate, f"{prop.name.lower()}({wildcard_name})")
+    return Constraint(
+        structural_predicate(predicate), f"{prop.name.lower()}({wildcard_name})"
+    )
 
 
 class Pattern:

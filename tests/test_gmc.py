@@ -335,3 +335,61 @@ class TestGenerationTimeScaling:
         solution = GMCAlgorithm().solve(Times(*matrices))
         assert solution.generation_time < 1.0
         assert solution.computable
+
+
+class TestSolutionCallMaterialization:
+    """``program()``, ``total_flops`` and ``kernel_sequence()`` share one
+    materialized call list instead of each re-running the Fig. 7 recursion."""
+
+    def _solution(self):
+        matrices = [Matrix(f"M{i}", 10 * (i + 1), 10 * (i + 2)) for i in range(5)]
+        return GMCAlgorithm().solve(Times(*matrices))
+
+    def test_kernel_calls_is_materialized_once(self):
+        solution = self._solution()
+        assert solution.kernel_calls() is solution.kernel_calls()
+
+    def test_consumers_agree_with_the_generator(self):
+        solution = self._solution()
+        generated = list(solution.construct_solution())
+        assert solution.kernel_sequence() == [
+            call.kernel.display_name for call in generated
+        ]
+        assert solution.total_flops == pytest.approx(
+            sum(call.flops for call in generated)
+        )
+        assert [call.kernel.id for call in solution.program()] == [
+            call.kernel.id for call in generated
+        ]
+
+    def test_uncomputable_solution_still_raises(self):
+        a = Matrix("A", 8, 8, {Property.NON_SINGULAR})
+        b = Matrix("B", 8, 8, {Property.NON_SINGULAR})
+        catalog = default_catalog(include_combined_inverse=False)
+        solution = GMCAlgorithm(catalog=catalog).solve(Times(Inverse(a), Inverse(b)))
+        with pytest.raises(UncomputableChainError):
+            solution.kernel_calls()
+
+
+class TestSplitPruning:
+    """Lower-bound pruning must never change the chosen solution."""
+
+    @pytest.mark.parametrize(
+        "sizes",
+        [
+            [10, 100, 5, 50],
+            [30, 35, 15, 5, 10, 20, 25],
+            [130, 700, 383, 1340, 193, 900],
+        ],
+    )
+    def test_pruned_equals_exhaustive(self, sizes):
+        chain = Times(
+            *[Matrix(f"M{i}", sizes[i], sizes[i + 1]) for i in range(len(sizes) - 1)]
+        )
+        pruned = GMCAlgorithm(prune=True).solve(chain)
+        exhaustive = GMCAlgorithm(prune=False).solve(chain)
+        assert float(pruned.optimal_cost) == pytest.approx(
+            float(exhaustive.optimal_cost)
+        )
+        assert pruned.parenthesization() == exhaustive.parenthesization()
+        assert pruned.kernel_sequence() == exhaustive.kernel_sequence()
