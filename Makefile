@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke paper-benchmarks
+.PHONY: test test-fast bench bench-smoke paper-benchmarks serve service-check
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -11,9 +11,18 @@ test:
 test-fast:
 	$(PYTHON) -m pytest -x -q tests/ -k "not property_based and not equivalence"
 
-## Full generation-time benchmark (writes BENCH_generation.json).
+## Full generation-time benchmark (writes BENCH_generation.json),
+## including the warm-pool service throughput section.
 bench:
-	$(PYTHON) scripts/bench_generation.py
+	$(PYTHON) scripts/bench_generation.py --serve
+
+## Start the HTTP compilation service (warm-cache worker pool).
+serve:
+	$(PYTHON) -m repro.frontend --serve
+
+## End-to-end check against a freshly booted HTTP server (what CI runs).
+service-check:
+	$(PYTHON) scripts/ci_service_check.py --workers 2 --batch 24
 
 ## CI-sized benchmark (fails on legacy/memoized solution divergence).
 bench-smoke:

@@ -29,6 +29,13 @@ chain length it measures:
   one process serves many structurally similar chains;
 * the match-cache hit rate of the warm pass.
 
+A third, optional section (``--serve``) benchmarks the **compilation
+service**: batches of structurally similar chains (renamed copies sharing
+one signature) submitted through the warm-cache worker pool of
+:mod:`repro.service`, reporting cold/warm batch throughput (requests/sec)
+and the pooled warm match-cache hit rate -- the numbers ``GET /stats``
+serves in production.
+
 For every chain all configurations must produce identical solutions
 (optimal cost and parenthesization); the script asserts this and records the
 outcome, so the benchmark doubles as an end-to-end equivalence check on the
@@ -55,6 +62,8 @@ import statistics
 import sys
 import time
 from pathlib import Path
+
+import re
 
 from repro.algebra import clear_inference_cache, clear_intern_table
 from repro.algebra.inference import legacy_inference
@@ -224,6 +233,115 @@ def run_match_cache(lengths, chains_per_length, seed, repeats=1):
     }
 
 
+def problem_source(problem, tag):
+    """Render a generated chain as DSL text with per-*tag* operand names.
+
+    Tagged copies of one problem are *structurally similar*: identical
+    shapes, properties and equality structure under fresh names -- the
+    workload shape the warm-pool service amortizes across.
+    """
+    lines = []
+    for operand in problem.operands:
+        properties = ", ".join(sorted(p.value for p in operand.properties))
+        lines.append(
+            f"Matrix {operand.name}_{tag} ({operand.rows}, {operand.columns}) "
+            f"<{properties}>"
+        )
+    names = sorted((op.name for op in problem.operands), key=len, reverse=True)
+    pattern = re.compile(r"\b(" + "|".join(map(re.escape, names)) + r")\b")
+    expression = pattern.sub(lambda match: f"{match.group(1)}_{tag}", str(problem.expression))
+    lines.append(f"X := {expression}")
+    return "\n".join(lines) + "\n"
+
+
+def run_service(workers, batch_size, rounds, seed, length=8, in_process=False):
+    """Benchmark warm-pool batch throughput over structurally similar chains.
+
+    Builds ``batch_size`` base chains of *length* factors, then submits
+    ``rounds + 1`` batches of name-renamed (signature-equal) copies through
+    a :class:`repro.service.pool.WorkerPool`: the first batch is the cold
+    fill, the remaining *rounds* measure warm throughput.  Every response is
+    checked against a direct ``compile_source`` reference, and the pooled
+    match-cache hit rate over the warm batches is computed from the
+    ``stats()`` delta -- the same numbers ``GET /stats`` serves in the HTTP
+    front-end.
+    """
+    from repro.frontend import compile_source
+    from repro.service.api import CompileRequest
+    from repro.service.pool import create_executor
+
+    problems = make_problems(length, batch_size, seed + 7_000)
+
+    mismatches = []
+    # Fork the workers *before* compiling the references: under fork, a
+    # child inherits the parent's caches, so warming the parent first would
+    # make the "cold" batch secretly warm.
+    executor = create_executor(workers=workers, in_process=in_process)
+    references = [
+        list(compile_source(problem_source(problem, "ref")).assignments[0].kernel_sequence)
+        for problem in problems
+    ]
+    try:
+        def submit_round(tag):
+            requests = [
+                CompileRequest(source=problem_source(problem, tag))
+                for problem in problems
+            ]
+            start = time.perf_counter()
+            responses = executor.compile_batch(requests)
+            elapsed = time.perf_counter() - start
+            for problem, reference, response in zip(problems, references, responses):
+                if not response.ok or response.assignments[0].kernels != reference:
+                    mismatches.append(f"{problem} [{tag}]")
+            return elapsed
+
+        cold_s = submit_round("r0")
+        after_cold = executor.stats()["caches"]["match_cache"]
+        warm_s = sum(submit_round(f"r{index + 1}") for index in range(rounds))
+        after_warm = executor.stats()["caches"]["match_cache"]
+
+        warm_hits = after_warm["hits"] - after_cold["hits"]
+        warm_lookups = warm_hits + after_warm["misses"] - after_cold["misses"]
+        warm_requests = batch_size * rounds
+        entry = {
+            "description": (
+                "warm-pool batch throughput over structurally similar chains: "
+                "one cold batch fills the caches, subsequent batches of "
+                "renamed (signature-equal) copies measure the amortized "
+                "service path; kernel sequences asserted identical to direct "
+                "compile_source"
+            ),
+            "mode": "in-process" if executor.workers == 0 else "pool",
+            "workers": executor.workers,
+            "chain_length": length,
+            "batch_size": batch_size,
+            "warm_rounds": rounds,
+            "cold_batch_s": cold_s,
+            "warm_total_s": warm_s,
+            "cold_requests_per_s": batch_size / cold_s if cold_s > 0 else math.inf,
+            "warm_requests_per_s": (
+                warm_requests / warm_s if warm_s > 0 else math.inf
+            ),
+            "warm_batch_speedup_vs_cold": (
+                (cold_s * rounds) / warm_s if warm_s > 0 else math.inf
+            ),
+            "warm_match_hit_rate": (
+                warm_hits / warm_lookups if warm_lookups > 0 else 0.0
+            ),
+            "solutions_match": not mismatches,
+            "mismatches": mismatches,
+        }
+    finally:
+        executor.close()
+    print(
+        f"service ({entry['mode']}, {workers} workers): cold batch "
+        f"{cold_s * 1e3:8.2f} ms, warm {entry['warm_requests_per_s']:7.1f} req/s, "
+        f"warm hit rate {entry['warm_match_hit_rate']:5.3f}, "
+        f"warm-vs-cold speedup {entry['warm_batch_speedup_vs_cold']:5.2f}x"
+    )
+    return entry
+
+
 def run(lengths, chains_per_length, repeats, seed):
     per_length = []
     mismatches = []
@@ -355,6 +473,42 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--serve",
+        action="store_true",
+        help=(
+            "also benchmark warm-pool batch throughput through the "
+            "compilation service (repro.service worker pool)"
+        ),
+    )
+    parser.add_argument(
+        "--serve-workers",
+        type=int,
+        default=2,
+        help="worker processes for the --serve section (default: 2)",
+    )
+    parser.add_argument(
+        "--serve-batch",
+        type=int,
+        default=8,
+        help="requests per service batch (default: 8)",
+    )
+    parser.add_argument(
+        "--serve-rounds",
+        type=int,
+        default=3,
+        help="warm batches measured after the cold fill (default: 3)",
+    )
+    parser.add_argument(
+        "--check-serve-hit-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "exit non-zero unless the pooled warm match-cache hit rate of "
+            "the --serve section is at least R"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
@@ -379,6 +533,14 @@ def main(argv=None) -> int:
     report["match_cache"] = run_match_cache(
         lengths, chains_per_length, args.seed, repeats=repeats
     )
+    if args.serve:
+        print("\n== compilation service: warm-pool batch throughput ==")
+        report["service"] = run_service(
+            workers=args.serve_workers,
+            batch_size=args.serve_batch,
+            rounds=args.serve_rounds,
+            seed=args.seed,
+        )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -426,6 +588,25 @@ def main(argv=None) -> int:
                 f"ERROR: warm repeated-solve speedup "
                 f"{warm_speedup if warm_speedup is not None else float('nan'):.2f}x "
                 f"below required {args.check_warm_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.serve:
+        service = report["service"]
+        if not service["solutions_match"]:
+            print(
+                "ERROR: service responses diverged from direct compile_source",
+                file=sys.stderr,
+            )
+            return 1
+        if (
+            args.check_serve_hit_rate is not None
+            and service["warm_match_hit_rate"] < args.check_serve_hit_rate
+        ):
+            print(
+                f"ERROR: service warm match-cache hit rate "
+                f"{service['warm_match_hit_rate']:.3f} below required "
+                f"{args.check_serve_hit_rate:.3f}",
                 file=sys.stderr,
             )
             return 1

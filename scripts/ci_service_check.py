@@ -1,0 +1,202 @@
+#!/usr/bin/env python
+"""End-to-end CI check of the HTTP compilation service.
+
+Boots ``python -m repro.frontend --serve`` as a subprocess (warm-cache
+worker pool), then drives the acceptance workload against it:
+
+1. ``GET /healthz`` must return 200 with every worker alive;
+2. a **cold half** of structurally similar chains goes through
+   ``POST /compile`` and ``POST /batch``;
+3. a **warm half** (the same structures under fresh operand names) goes
+   through ``POST /batch``;
+4. every kernel sequence must equal a direct in-process
+   ``compile_source`` call, every response must be 200, and ``GET /stats``
+   must report a pooled match-cache hit rate of at least ``--min-hit-rate``
+   (default 0.5) over the warm half.
+
+Exit status is non-zero on any violation.  Usage (CI runs exactly this)::
+
+    PYTHONPATH=src python scripts/ci_service_check.py --workers 2 --batch 24
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import subprocess
+import sys
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.frontend import compile_source  # noqa: E402
+
+#: One moderately rich chain structure; tagged copies are structurally
+#: similar (signature-equal), the workload the warm pool amortizes.
+TEMPLATE = """
+Matrix A{t} (200, 200) <spd>
+Matrix B{t} (200, 100) <>
+Matrix C{t} (100, 100) <lower_triangular, non_singular>
+Matrix D{t} (100, 100) <upper_triangular, non_singular>
+Matrix E{t} (100, 80) <>
+X := A{t}^-1 * B{t} * C{t}^T * D{t}^-1 * E{t}
+"""
+
+
+def tagged_source(tag: str) -> str:
+    return TEMPLATE.replace("{t}", tag)
+
+
+def http_json(method: str, url: str, payload=None, timeout: float = 120.0):
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method, headers={"Content-Type": "application/json"}
+    )
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, json.loads(response.read())
+
+
+def fail(message: str) -> int:
+    print(f"SERVICE CHECK FAILED: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=24, help="total chains (>= 4)")
+    parser.add_argument("--min-hit-rate", type=float, default=0.5)
+    parser.add_argument("--boot-timeout", type=float, default=120.0)
+    args = parser.parse_args(argv)
+    if args.batch < 4:
+        parser.error("--batch must be >= 4")
+
+    reference = compile_source(tagged_source("ref")).assignment("X").kernel_sequence
+    print(f"reference kernel sequence: {reference}")
+
+    process = subprocess.Popen(
+        [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.frontend",
+            "--serve",
+            "--port",
+            "0",
+            "--workers",
+            str(args.workers),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        cwd=REPO_ROOT,
+    )
+    try:
+        banner = process.stdout.readline()
+        print(f"server: {banner.strip()}")
+        match = re.search(r"http://([\d.]+):(\d+)", banner)
+        if not match:
+            return fail(f"no address in server banner: {banner!r}")
+        base = f"http://{match.group(1)}:{match.group(2)}"
+
+        deadline = time.time() + args.boot_timeout
+        while True:
+            try:
+                status, health = http_json("GET", f"{base}/healthz", timeout=10.0)
+                break
+            except (urllib.error.URLError, OSError):
+                if time.time() > deadline:
+                    return fail("server never answered /healthz")
+                time.sleep(0.25)
+        if status != 200 or health.get("status") != "ok":
+            return fail(f"/healthz returned {status}: {health}")
+        print(f"healthz: {health}")
+
+        half = args.batch // 2
+        cold_tags = [f"c{index}" for index in range(half)]
+        warm_tags = [f"w{index}" for index in range(args.batch - half)]
+
+        def check_response(body, tag):
+            if not body.get("ok"):
+                return f"request {tag} failed: {body.get('error')}"
+            kernels = body["assignments"][0]["kernels"]
+            if kernels != reference:
+                return f"request {tag}: kernels {kernels} != reference {reference}"
+            return None
+
+        # Cold half: a couple of single /compile calls, the rest via /batch.
+        singles = cold_tags[:2]
+        for tag in singles:
+            status, body = http_json(
+                "POST", f"{base}/compile", {"source": tagged_source(tag)}
+            )
+            if status != 200:
+                return fail(f"/compile returned {status}")
+            problem = check_response(body, tag)
+            if problem:
+                return fail(problem)
+        status, body = http_json(
+            "POST",
+            f"{base}/batch",
+            {"requests": [{"source": tagged_source(tag)} for tag in cold_tags[2:]]},
+        )
+        if status != 200 or body["failed"]:
+            return fail(f"cold /batch returned {status}, failed={body.get('failed')}")
+        for tag, entry in zip(cold_tags[2:], body["responses"]):
+            problem = check_response(entry, tag)
+            if problem:
+                return fail(problem)
+
+        status, stats_cold = http_json("GET", f"{base}/stats")
+        if status != 200:
+            return fail(f"/stats returned {status}")
+
+        # Warm half: same structure, fresh names -> signature-cache hits.
+        status, body = http_json(
+            "POST",
+            f"{base}/batch",
+            {"requests": [{"source": tagged_source(tag)} for tag in warm_tags]},
+        )
+        if status != 200 or body["failed"]:
+            return fail(f"warm /batch returned {status}, failed={body.get('failed')}")
+        for tag, entry in zip(warm_tags, body["responses"]):
+            problem = check_response(entry, tag)
+            if problem:
+                return fail(problem)
+
+        status, stats_warm = http_json("GET", f"{base}/stats")
+        if status != 200:
+            return fail(f"/stats returned {status}")
+
+        cold_cache = stats_cold["caches"]["match_cache"]
+        warm_cache = stats_warm["caches"]["match_cache"]
+        hits = warm_cache["hits"] - cold_cache["hits"]
+        lookups = hits + warm_cache["misses"] - cold_cache["misses"]
+        hit_rate = hits / lookups if lookups > 0 else 0.0
+        print(
+            f"warm half: {len(warm_tags)} requests, pooled match-cache hit rate "
+            f"{hit_rate:.3f} ({hits}/{lookups}), pool counters "
+            f"{stats_warm['pool']}"
+        )
+        if hit_rate < args.min_hit_rate:
+            return fail(
+                f"warm pooled hit rate {hit_rate:.3f} < {args.min_hit_rate:.3f}"
+            )
+
+        print("SERVICE CHECK PASSED")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=15)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,6 +34,7 @@ to the reference predicates (used for benchmarking and differential tests).
 
 from __future__ import annotations
 
+import itertools
 from contextlib import contextmanager
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence
 
@@ -716,10 +717,18 @@ class PropertyInference:
     pointer identity for hash-consed nodes (see
     :mod:`repro.algebra.interning`).
 
-    The memo is bounded: when it exceeds ``max_entries`` it is reset
-    wholesale, keeping long-running processes safe without per-lookup
-    eviction bookkeeping.
+    The memo is bounded and *version aware*: a registry mutation (which
+    changes predicate semantics) still drops everything, but plain capacity
+    pressure evicts only the oldest chunk of entries -- dict insertion order
+    is bottom-up discovery order, so the longest-unrefreshed subtrees go
+    first and a long-running service keeps its recent working set warm
+    instead of re-deriving every property from scratch after a reset.
     """
+
+    #: Fraction of the memo dropped per capacity eviction (1/8 keeps the
+    #: amortized bookkeeping cost per insertion O(1) while retaining most of
+    #: the working set).
+    _EVICT_FRACTION = 8
 
     def __init__(self, max_entries: int = 500_000) -> None:
         self._raw: _RawMemo = {}
@@ -727,12 +736,53 @@ class PropertyInference:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self._registry_version = PREDICATES.version  # type: ignore[attr-defined]
         self._registry_custom = False
 
     def clear(self) -> None:
         self._raw.clear()
         self._inferred.clear()
+
+    def _evict(self, memo: Dict) -> None:
+        """Drop the oldest ``1/_EVICT_FRACTION`` of *memo* (at least one).
+
+        Only called between top-level queries, never during the post-order
+        walk of :meth:`raw_properties` (which relies on children staying
+        memoized until their parent is resolved).
+        """
+        drop = max(1, len(memo) // self._EVICT_FRACTION)
+        for key in list(itertools.islice(iter(memo), drop)):
+            del memo[key]
+        self.evictions += drop
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-dict counters (uniform cache-stats protocol).
+
+        ``size`` counts the raw (pre-closure) memo, the layer every query
+        funnels through; the closed-set memo is reported separately.
+        """
+        return {
+            "layer": "inference",
+            "size": len(self._raw),
+            "inferred_size": len(self._inferred),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "registry_version": self._registry_version,
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def _refresh_registry(self) -> None:
         """React to a mutation of :data:`PREDICATES`.
@@ -762,8 +812,7 @@ class PropertyInference:
             return cached
         self.misses += 1
         if len(memo) >= self.max_entries:
-            self.clear()
-            memo = self._raw
+            self._evict(memo)
         # Iterative post-order walk: children are resolved before parents, so
         # ``_node_raw`` only ever performs O(1) memo lookups.
         stack = [expr]
@@ -825,7 +874,7 @@ class PropertyInference:
             inferred.add(Property.SCALAR)
         result = check_consistency(inferred)
         if len(self._inferred) >= self.max_entries:
-            self._inferred.clear()
+            self._evict(self._inferred)
         self._inferred[expr] = result
         return result
 

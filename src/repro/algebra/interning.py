@@ -26,6 +26,7 @@ identity function (used by benchmarks to measure the legacy behaviour).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
@@ -45,23 +46,50 @@ class ExpressionInterner:
     """A canonical table mapping expressions to unique representatives.
 
     ``intern`` returns the canonical object for an expression, registering it
-    (with canonicalized children) on first sight.  The table is bounded: when
-    it exceeds ``max_entries`` it is reset rather than evicted entry by
-    entry, which keeps the worst case trivially bounded without bookkeeping
-    in the hot path.
+    (with canonicalized children) on first sight.  The table is an LRU: a
+    lookup refreshes the entry, and when the table is full the least recently
+    used representative is evicted.  Evicting a canonical node is always
+    safe -- a later structurally equal expression simply becomes the new
+    representative of its class, and stale references held by parents still
+    compare equal structurally -- so a long-running service keeps its hot
+    working set shared instead of periodically losing *all* sharing to the
+    wholesale reset this table used to perform.
     """
 
     def __init__(self, max_entries: int = 1_000_000) -> None:
-        self._table: Dict[Expression, Expression] = {}
+        self._table: "OrderedDict[Expression, Expression]" = OrderedDict()
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def __len__(self) -> int:
         return len(self._table)
 
     def clear(self) -> None:
         self._table.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> Dict[str, object]:
+        """Plain-dict counters (uniform cache-stats protocol)."""
+        return {
+            "layer": "interner",
+            "size": len(self._table),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+        }
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     def intern(self, expr: Expression) -> Expression:
         """Return the canonical representative of *expr*.
@@ -74,14 +102,16 @@ class ExpressionInterner:
         found = table.get(expr)
         if found is not None:
             self.hits += 1
+            table.move_to_end(found)
             return found
         self.misses += 1
         if expr.children:
             canonical_children = tuple(self.intern(child) for child in expr.children)
             if any(new is not old for new, old in zip(canonical_children, expr.children)):
                 expr = _rebuild(expr, canonical_children)
-        if len(table) >= self.max_entries:
-            table.clear()
+        while len(table) >= self.max_entries:
+            table.popitem(last=False)
+            self.evictions += 1
         table[expr] = expr
         return expr
 

@@ -53,6 +53,13 @@ class CostMetric:
     #: entry is evicted when a new one would exceed it.
     cost_cache_size: int = 100_000
 
+    # Class-level defaults for the memo counters, so metric instances stay
+    # cheap to construct (subclasses define no ``__init__``) and the first
+    # increment creates the instance attribute.
+    _cost_hits: int = 0
+    _cost_misses: int = 0
+    _cost_evictions: int = 0
+
     def kernel_cost(self, kernel: Kernel, substitution: Substitution) -> object:
         """Cost of applying *kernel* to the matched operands."""
         raise NotImplementedError
@@ -85,13 +92,41 @@ class CostMetric:
         key = (kernel, substitution)
         cost = cache.get(key)
         if cost is None:
+            self._cost_misses += 1
             cost = self.kernel_cost(kernel, substitution)
             if len(cache) >= self.cost_cache_size:
                 cache.popitem(last=False)
+                self._cost_evictions += 1
             cache[key] = cost
         else:
+            self._cost_hits += 1
             cache.move_to_end(key)
         return cost
+
+    @property
+    def cost_cache_hit_rate(self) -> float:
+        total = self._cost_hits + self._cost_misses
+        return self._cost_hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        """Plain-dict counters for the kernel-cost memo (uniform cache-stats
+        protocol shared with the interner, inference memo and match cache)."""
+        cache = getattr(self, "_cost_cache", None)
+        return {
+            "layer": "kernel_cost",
+            "metric": self.name,
+            "size": len(cache) if cache is not None else 0,
+            "max_entries": self.cost_cache_size,
+            "hits": self._cost_hits,
+            "misses": self._cost_misses,
+            "hit_rate": self.cost_cache_hit_rate,
+            "evictions": self._cost_evictions,
+        }
+
+    def reset_stats(self) -> None:
+        self._cost_hits = 0
+        self._cost_misses = 0
+        self._cost_evictions = 0
 
     def combine(self, left: object, right: object) -> object:
         """Accumulate two costs (defaults to addition)."""

@@ -173,7 +173,41 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=["report", "julia", "numpy"],
         help="what to print: a human-readable report or generated code",
     )
+    serve_group = parser.add_argument_group(
+        "service mode", "run as a long-lived HTTP compilation service"
+    )
+    serve_group.add_argument(
+        "--serve",
+        action="store_true",
+        help="start the HTTP compilation service instead of compiling once",
+    )
+    serve_group.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="bind port; 0 picks an ephemeral port (default: 8077)",
+    )
+    serve_group.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="warm-cache worker processes (default: min(4, cpu count))",
+    )
+    serve_group.add_argument(
+        "--in-process",
+        action="store_true",
+        help="serve synchronously in this process (no worker processes)",
+    )
     args = parser.parse_args(argv)
+    if args.serve:
+        from ..service.http import run_server
+        from ..service.pool import create_executor
+
+        executor = create_executor(workers=args.workers, in_process=args.in_process)
+        return run_server(executor, host=args.host, port=args.port)
     if args.source:
         with open(args.source, "r", encoding="utf-8") as handle:
             text = handle.read()

@@ -97,6 +97,8 @@ class MatchCache:
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
         self._net_version = net.version
         self._registry_version = registry_version()
         self._registry_custom = registry_is_customized()
@@ -111,9 +113,30 @@ class MatchCache:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def stats(self) -> dict:
+        """Plain-dict counters (uniform cache-stats protocol).
+
+        ``bypasses`` counts lookups routed around the cache by the
+        invalidation rules (customized predicate registry, concrete-leaf or
+        opaque-predicate patterns); they are excluded from the hit rate
+        because no cache decision was made.
+        """
+        return {
+            "layer": "match_cache",
+            "size": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hit_rate,
+            "evictions": self.evictions,
+            "bypasses": self.bypasses,
+        }
+
     def reset_stats(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        self.bypasses = 0
 
     def clear(self) -> None:
         """Drop all entries (and re-sync the watched versions)."""
@@ -137,6 +160,7 @@ class MatchCache:
             or net.has_concrete_leaf_patterns
             or net.has_opaque_predicates
         ):
+            self.bypasses += 1
             return [
                 (payload, substitution)
                 for _, substitution, payload in self._net.match(subject)
@@ -176,6 +200,7 @@ class MatchCache:
         ):
             if len(self._entries) >= self.max_entries:
                 self._entries.popitem(last=False)
+                self.evictions += 1
             self._entries[signature] = entry
         return results
 

@@ -1,0 +1,42 @@
+"""The compilation service: batch/server front-end over the GMC compiler.
+
+The paper frames the GMC algorithm as the chain-solving core of a compiler
+that users query repeatedly with structurally similar problems.  This
+package turns the per-process pipeline of :mod:`repro.frontend` into a
+long-running, concurrent service:
+
+* :mod:`repro.service.api` -- typed :class:`CompileRequest` /
+  :class:`CompileResponse` model (JSON-dict wire format) and the shared
+  execution path;
+* :mod:`repro.service.pool` -- :class:`WorkerPool` of persistent
+  warm-cache worker processes with signature-affinity routing and
+  crash restart, plus the synchronous :class:`InProcessExecutor` fallback;
+* :mod:`repro.service.http` -- stdlib HTTP front-end (``POST /compile``,
+  ``POST /batch``, ``GET /stats``, ``GET /healthz``), wired into the CLI
+  as ``python -m repro.frontend --serve``;
+* :mod:`repro.service.telemetry` -- unified snapshot/aggregation of the
+  four cache layers (match cache, interner, inference memo, kernel-cost
+  LRU).
+"""
+
+from .api import (
+    AssignmentResult,
+    CompileRequest,
+    CompileResponse,
+    RequestError,
+    affinity_key,
+    execute_request,
+)
+from .pool import InProcessExecutor, WorkerPool, create_executor
+
+__all__ = [
+    "AssignmentResult",
+    "CompileRequest",
+    "CompileResponse",
+    "RequestError",
+    "affinity_key",
+    "execute_request",
+    "InProcessExecutor",
+    "WorkerPool",
+    "create_executor",
+]

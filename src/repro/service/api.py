@@ -1,0 +1,396 @@
+"""Typed request/response model of the compilation service.
+
+The service front-ends (:mod:`repro.service.http`, the worker pool of
+:mod:`repro.service.pool`, and the in-process executor used by tests) all
+speak the same two dataclasses:
+
+* :class:`CompileRequest` -- one compilation problem, given either as DSL
+  source text (the Fig. 1/2 grammar of :mod:`repro.algebra.dsl`) or as a
+  structured operand/assignment spec, plus the pipeline options (cost
+  metric, solver, codegen targets, pruning and match-cache toggles);
+* :class:`CompileResponse` -- the per-assignment kernel sequences,
+  parenthesizations, costs, optional generated code, and timing.
+
+Both serialize to plain JSON-compatible dicts (``to_dict``/``from_dict``),
+which is also the wire format between the pool parent and its worker
+processes -- workers never unpickle custom classes, so the pool works under
+every multiprocessing start method.
+
+:func:`execute_request` is the single execution path shared by every
+executor: it runs the same pipeline as
+:func:`repro.frontend.compiler.compile_source`, so service responses are
+bit-identical to direct library calls (asserted in ``tests/test_service.py``
+and by ``scripts/ci_service_check.py``).
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..algebra.dsl import ParseError, parse_program
+from ..codegen.julia import generate_julia
+from ..codegen.python_numpy import generate_numpy
+from ..core.gmc import GMCAlgorithm
+from ..core.topdown import TopDownGMC
+from ..cost.metrics import CostMetric, resolve_metric
+from ..kernels.catalog import KernelCatalog, default_catalog
+from ..matching.match_cache import match_caching_disabled
+
+__all__ = [
+    "RequestError",
+    "CompileRequest",
+    "AssignmentResult",
+    "CompileResponse",
+    "execute_request",
+    "affinity_key",
+]
+
+#: Codegen targets a request may ask for.
+EMIT_TARGETS = ("julia", "numpy")
+
+#: Solvers a request may select.
+SOLVERS = ("gmc", "topdown")
+
+#: Metric spellings accepted by :func:`repro.cost.metrics.resolve_metric`.
+METRICS = ("flops", "time", "memory", "accuracy", "kernels")
+
+
+class RequestError(ValueError):
+    """Raised when a request is malformed (maps to HTTP 400)."""
+
+
+@dataclass
+class CompileRequest:
+    """One compilation problem plus pipeline options.
+
+    Exactly one of ``source`` (DSL text) or ``operands``+``assignments``
+    (structured spec) must be provided.  The structured spec is rendered to
+    DSL text and parsed by the same parser, so both forms are equivalent:
+
+    ``operands``
+        maps operand name to ``{"rows": int, "columns": int,
+        "properties": [str, ...]}`` (``columns`` defaults to ``rows``);
+    ``assignments``
+        a list of ``{"target": str, "expression": str}`` where the
+        expression uses the Fig. 1 grammar (``A^-1 * B * C^T``).
+    """
+
+    source: Optional[str] = None
+    operands: Optional[Dict[str, dict]] = None
+    assignments: Optional[List[dict]] = None
+    metric: str = "flops"
+    solver: str = "gmc"
+    emit: Tuple[str, ...] = ()
+    prune: bool = True
+    use_match_cache: bool = True
+    request_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Raise :class:`RequestError` on any malformed field."""
+        if self.source is None and not (self.operands and self.assignments):
+            raise RequestError(
+                "request needs either 'source' or 'operands' + 'assignments'"
+            )
+        if self.source is not None and (self.operands or self.assignments):
+            raise RequestError("'source' excludes 'operands'/'assignments'")
+        if self.source is not None and not isinstance(self.source, str):
+            raise RequestError("'source' must be a string of DSL text")
+        if self.metric not in METRICS:
+            raise RequestError(
+                f"unknown metric {self.metric!r}; expected one of {METRICS}"
+            )
+        if self.solver not in SOLVERS:
+            raise RequestError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVERS}"
+            )
+        for target in self.emit:
+            if target not in EMIT_TARGETS:
+                raise RequestError(
+                    f"unknown emit target {target!r}; expected subset of {EMIT_TARGETS}"
+                )
+
+    # ------------------------------------------------------------- rendering
+    def to_source(self) -> str:
+        """The DSL text of this request (renders the structured spec)."""
+        if self.source is not None:
+            return self.source
+        lines: List[str] = []
+        for name, spec in (self.operands or {}).items():
+            try:
+                rows = int(spec["rows"])
+                columns = int(spec.get("columns", rows))
+            except (KeyError, TypeError, ValueError) as exc:
+                raise RequestError(f"operand {name!r}: bad dimensions") from exc
+            properties = ", ".join(spec.get("properties", ()))
+            lines.append(f"Matrix {name} ({rows}, {columns}) <{properties}>")
+        for assignment in self.assignments or ():
+            try:
+                lines.append(f"{assignment['target']} := {assignment['expression']}")
+            except (KeyError, TypeError) as exc:
+                raise RequestError(
+                    "assignments need 'target' and 'expression' keys"
+                ) from exc
+        return "\n".join(lines) + "\n"
+
+    # ----------------------------------------------------------------- wire
+    def to_dict(self) -> dict:
+        payload: dict = {
+            "request_id": self.request_id,
+            "metric": self.metric,
+            "solver": self.solver,
+            "emit": list(self.emit),
+            "prune": self.prune,
+            "use_match_cache": self.use_match_cache,
+        }
+        if self.source is not None:
+            payload["source"] = self.source
+        if self.operands is not None:
+            payload["operands"] = self.operands
+        if self.assignments is not None:
+            payload["assignments"] = self.assignments
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CompileRequest":
+        if not isinstance(payload, Mapping):
+            raise RequestError("request body must be a JSON object")
+        known = {
+            "source",
+            "operands",
+            "assignments",
+            "metric",
+            "solver",
+            "emit",
+            "prune",
+            "use_match_cache",
+            "request_id",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        request = cls(
+            source=payload.get("source"),
+            operands=payload.get("operands"),
+            assignments=payload.get("assignments"),
+            metric=payload.get("metric", "flops"),
+            solver=payload.get("solver", "gmc"),
+            emit=tuple(payload.get("emit", ())),
+            prune=bool(payload.get("prune", True)),
+            use_match_cache=bool(payload.get("use_match_cache", True)),
+            request_id=str(payload.get("request_id") or uuid.uuid4().hex),
+        )
+        request.validate()
+        return request
+
+
+@dataclass
+class AssignmentResult:
+    """The compilation result for one assignment of a request."""
+
+    target: str
+    expression: str
+    kernels: List[str]
+    parenthesization: str
+    cost: float
+    flops: float
+    generation_time_s: float
+    code: Dict[str, str] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "target": self.target,
+            "expression": self.expression,
+            "kernels": list(self.kernels),
+            "parenthesization": self.parenthesization,
+            "cost": self.cost,
+            "flops": self.flops,
+            "generation_time_s": self.generation_time_s,
+            "code": dict(self.code),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "AssignmentResult":
+        return cls(
+            target=payload["target"],
+            expression=payload["expression"],
+            kernels=list(payload["kernels"]),
+            parenthesization=payload["parenthesization"],
+            cost=payload["cost"],
+            flops=payload["flops"],
+            generation_time_s=payload["generation_time_s"],
+            code=dict(payload.get("code", {})),
+        )
+
+
+@dataclass
+class CompileResponse:
+    """The result of one :class:`CompileRequest`."""
+
+    request_id: str
+    ok: bool
+    assignments: List[AssignmentResult] = field(default_factory=list)
+    total_flops: float = 0.0
+    error: Optional[str] = None
+    worker: Optional[int] = None
+    timing: Dict[str, float] = field(default_factory=dict)
+
+    def assignment(self, target: str) -> AssignmentResult:
+        for result in self.assignments:
+            if result.target == target:
+                return result
+        raise KeyError(target)
+
+    @property
+    def kernel_sequences(self) -> Dict[str, List[str]]:
+        return {result.target: list(result.kernels) for result in self.assignments}
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id,
+            "ok": self.ok,
+            "assignments": [result.to_dict() for result in self.assignments],
+            "total_flops": self.total_flops,
+            "error": self.error,
+            "worker": self.worker,
+            "timing": dict(self.timing),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping) -> "CompileResponse":
+        return cls(
+            request_id=payload["request_id"],
+            ok=payload["ok"],
+            assignments=[
+                AssignmentResult.from_dict(entry)
+                for entry in payload.get("assignments", ())
+            ],
+            total_flops=payload.get("total_flops", 0.0),
+            error=payload.get("error"),
+            worker=payload.get("worker"),
+            timing=dict(payload.get("timing", {})),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Execution (shared by the in-process executor and the pool workers).
+# ---------------------------------------------------------------------------
+
+def execute_request(
+    request: CompileRequest,
+    catalog: Optional[KernelCatalog] = None,
+    metrics: Optional[Dict[str, CostMetric]] = None,
+    worker: Optional[int] = None,
+) -> CompileResponse:
+    """Run the full pipeline on *request* and return its response.
+
+    *metrics*, when given, is a per-executor cache of resolved
+    :class:`CostMetric` instances keyed by metric name: reusing one instance
+    across requests is what keeps the kernel-cost LRU warm, exactly like the
+    interner, inference memo and match cache (which are process-global /
+    catalog-owned and warm by construction).  Errors never propagate -- they
+    are folded into an ``ok=False`` response so a malformed request cannot
+    take down a worker.
+    """
+    started = time.perf_counter()
+    try:
+        request.validate()
+        source = request.to_source()
+        parse_started = time.perf_counter()
+        program = parse_program(source)
+        parse_s = time.perf_counter() - parse_started
+
+        if metrics is not None:
+            metric = metrics.get(request.metric)
+            if metric is None:
+                metric = metrics[request.metric] = resolve_metric(request.metric)
+        else:
+            metric = resolve_metric(request.metric)
+        catalog = catalog if catalog is not None else default_catalog()
+        solver_cls = GMCAlgorithm if request.solver == "gmc" else TopDownGMC
+        solver = solver_cls(catalog=catalog, metric=metric, prune=request.prune)
+
+        guard = nullcontext() if request.use_match_cache else match_caching_disabled()
+        results: List[AssignmentResult] = []
+        solve_started = time.perf_counter()
+        with guard:
+            for target, expression in program.assignments:
+                solution = solver.solve(expression)
+                kernel_program = solution.program(strategy_name=f"GMC[{target}]")
+                code: Dict[str, str] = {}
+                if "julia" in request.emit:
+                    code["julia"] = generate_julia(
+                        kernel_program, function_name=f"compute_{target}"
+                    )
+                if "numpy" in request.emit:
+                    code["numpy"] = generate_numpy(
+                        kernel_program, function_name=f"compute_{target.lower()}"
+                    )
+                try:
+                    cost = float(solution.optimal_cost)  # type: ignore[arg-type]
+                except (TypeError, ValueError):
+                    cost = float("nan")
+                results.append(
+                    AssignmentResult(
+                        target=target,
+                        expression=str(expression),
+                        kernels=list(kernel_program.kernel_names),
+                        parenthesization=solution.parenthesization(),
+                        cost=cost,
+                        flops=kernel_program.total_flops,
+                        generation_time_s=getattr(solution, "generation_time", 0.0),
+                        code=code,
+                    )
+                )
+        solve_s = time.perf_counter() - solve_started
+        return CompileResponse(
+            request_id=request.request_id,
+            ok=True,
+            assignments=results,
+            total_flops=sum(result.flops for result in results),
+            worker=worker,
+            timing={
+                "parse_s": parse_s,
+                "solve_s": solve_s,
+                "total_s": time.perf_counter() - started,
+            },
+        )
+    except Exception as exc:  # noqa: BLE001 -- fold into the response
+        return CompileResponse(
+            request_id=request.request_id,
+            ok=False,
+            error=f"{type(exc).__name__}: {exc}",
+            worker=worker,
+            timing={"total_s": time.perf_counter() - started},
+        )
+
+
+def affinity_key(request: CompileRequest) -> str:
+    """A stable key equal for structurally similar requests.
+
+    Structurally similar chains (same shapes, properties and equality
+    structure, arbitrary operand names) share their name-abstracted
+    expression signatures, so routing by this key lands them on the worker
+    whose signature-keyed match cache is already warm for them.  Requests
+    that fail to parse fall back to their raw text (they will fail
+    identically on any worker).
+
+    This parses the request in the dispatching process (the worker parses
+    again); that is deliberate -- parsing is orders of magnitude cheaper
+    than solving, and no text-level normalization reproduces the
+    name-abstracted signature the match cache is keyed by.  The parse
+    touches the parent's interner/inference caches, both of which are
+    bounded (LRU / oldest-chunk eviction), so front-end memory stays
+    bounded too.
+    """
+    try:
+        program = parse_program(request.to_source())
+        return repr(tuple(expr.signature() for _, expr in program.assignments))
+    except Exception:  # noqa: BLE001 -- unparseable: any worker will do
+        return request.source or repr(
+            (request.operands, request.assignments)
+        )

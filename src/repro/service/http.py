@@ -1,0 +1,170 @@
+"""Stdlib HTTP front-end of the compilation service (no new dependencies).
+
+Endpoints (all JSON):
+
+``POST /compile``
+    body: one :class:`repro.service.api.CompileRequest` dict.  200 with a
+    :class:`~repro.service.api.CompileResponse` dict on success; 400 when
+    the request is malformed or the compilation fails (the body still
+    carries the full ``ok=False`` response with its ``error`` field).
+``POST /batch``
+    body: ``{"requests": [<request>, ...]}``.  Always 200 when the batch is
+    well-formed; per-request failures are flagged by ``ok`` inside
+    ``{"responses": [...], "count": N, "failed": M}``.
+``GET /stats``
+    pooled cache telemetry (see :mod:`repro.service.telemetry`): per-layer
+    hit rates, occupancy and eviction counts, per worker and fleet-wide.
+``GET /healthz``
+    liveness: pings every worker (restarting dead ones), 200 when all are
+    alive, 503 when degraded.
+
+The server is a :class:`http.server.ThreadingHTTPServer`; concurrency comes
+from the worker pool behind it (HTTP threads block on queue round-trips,
+not on solves).  Start it from the command line via ``python -m
+repro.frontend --serve`` or programmatically via :func:`start_server` (tests
+use port 0 to get an ephemeral port).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+from urllib.parse import urlparse
+
+from .api import CompileRequest, RequestError
+
+__all__ = ["ServiceHTTPServer", "start_server", "run_server"]
+
+#: Largest request body accepted, in bytes (guards the stdlib server
+#: against unbounded reads; far above any realistic chain spec).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """A threading HTTP server bound to one executor."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+
+    def __init__(self, address: Tuple[str, int], executor) -> None:
+        super().__init__(address, _ServiceRequestHandler)
+        self.executor = executor
+
+
+class _ServiceRequestHandler(BaseHTTPRequestHandler):
+    server_version = "repro-compilation-service/1.0"
+    protocol_version = "HTTP/1.1"
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # keep test/CI output clean; the CLI prints its own banner
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _read_json(self) -> object:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length <= 0:
+            raise RequestError("missing request body")
+        if length > MAX_BODY_BYTES:
+            raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
+        raw = self.rfile.read(length)
+        try:
+            return json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise RequestError(f"invalid JSON body: {exc}") from exc
+
+    # ------------------------------------------------------------- handlers
+    def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        path = urlparse(self.path).path
+        executor = self.server.executor
+        try:
+            if path == "/healthz":
+                health = executor.ping()
+                status = 200 if health.get("status") == "ok" else 503
+                self._send_json(status, health)
+            elif path == "/stats":
+                self._send_json(200, executor.stats())
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+        except Exception as exc:  # noqa: BLE001 -- never drop the connection
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        path = urlparse(self.path).path
+        executor = self.server.executor
+        try:
+            payload = self._read_json()
+            if path == "/compile":
+                request = CompileRequest.from_dict(payload)
+                response = executor.submit(request)
+                self._send_json(200 if response.ok else 400, response.to_dict())
+            elif path == "/batch":
+                if not isinstance(payload, dict) or not isinstance(
+                    payload.get("requests"), list
+                ):
+                    raise RequestError("batch body must be {'requests': [...]}")
+                requests = [
+                    CompileRequest.from_dict(entry) for entry in payload["requests"]
+                ]
+                responses = executor.compile_batch(requests)
+                self._send_json(
+                    200,
+                    {
+                        "responses": [response.to_dict() for response in responses],
+                        "count": len(responses),
+                        "failed": sum(1 for r in responses if not r.ok),
+                    },
+                )
+            else:
+                self._send_json(404, {"error": f"unknown path {path!r}"})
+        except RequestError as exc:
+            self._send_json(400, {"error": str(exc)})
+        except Exception as exc:  # noqa: BLE001 -- never drop the connection
+            self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+
+def start_server(
+    executor, host: str = "127.0.0.1", port: int = 0
+) -> Tuple[ServiceHTTPServer, threading.Thread]:
+    """Start a server on a background thread; returns ``(server, thread)``.
+
+    Pass ``port=0`` to bind an ephemeral port; the bound address is at
+    ``server.server_address``.  The caller owns shutdown:
+    ``server.shutdown(); thread.join(); executor.close()``.
+    """
+    server = ServiceHTTPServer((host, port), executor)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def run_server(
+    executor, host: str = "127.0.0.1", port: int = 8077
+) -> int:
+    """Serve until interrupted (the blocking CLI path)."""
+    server = ServiceHTTPServer((host, port), executor)
+    bound_host, bound_port = server.server_address[:2]
+    mode = "in-process" if executor.workers == 0 else f"{executor.workers} workers"
+    print(
+        f"repro compilation service listening on http://{bound_host}:{bound_port} "
+        f"({mode})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        executor.close()
+    return 0

@@ -1,0 +1,500 @@
+"""Warm-cache execution back-ends: worker pool and in-process executor.
+
+Both executors implement the same duck-typed interface consumed by the HTTP
+front-end (:mod:`repro.service.http`) and by library users:
+
+``submit(request) -> CompileResponse``
+    compile one request;
+``compile_batch(requests) -> List[CompileResponse]``
+    compile many requests, responses in submission order;
+``stats() / reset_stats()``
+    pooled cache telemetry (see :mod:`repro.service.telemetry`);
+``ping() / close()``
+    liveness probe and shutdown.  Both executors are context managers.
+
+:class:`InProcessExecutor` runs everything synchronously in the calling
+process -- no subprocesses, deterministic, used by tier-1 tests and as the
+``--in-process`` fallback of the CLI.
+
+:class:`WorkerPool` owns N persistent worker *processes*.  Each worker
+builds the default kernel catalog once and keeps every cache layer warm
+across requests: the expression interner, the property-inference memo, the
+signature-keyed match cache and one kernel-cost LRU per metric.  Requests
+are routed by **affinity**: structurally similar chains share their
+name-abstracted signature (:func:`repro.service.api.affinity_key`) and land
+on the same worker, whose match cache is already warm for them.  A worker
+that dies (crash, OOM kill) is transparently restarted and its in-flight
+requests are resubmitted, up to ``max_retries`` per request; requests that
+keep killing workers come back as ``ok=False`` responses instead of hanging
+the caller.
+
+Wire format: plain dicts (``CompileRequest.to_dict`` /
+``CompileResponse.to_dict``) travel over the queues, so workers never
+unpickle custom classes and the pool works under ``fork`` and ``spawn``
+alike.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog, default_catalog
+from . import telemetry
+from .api import CompileRequest, CompileResponse, affinity_key, execute_request
+
+__all__ = ["InProcessExecutor", "WorkerPool", "create_executor"]
+
+#: Seconds between liveness checks while a caller waits for a response.
+_POLL_INTERVAL = 0.05
+
+
+# ---------------------------------------------------------------------------
+# In-process executor (the synchronous fallback).
+# ---------------------------------------------------------------------------
+
+class InProcessExecutor:
+    """Synchronous executor running compilations in the calling process.
+
+    Thread-safe: concurrent ``submit`` calls (e.g. from the threading HTTP
+    server) are serialized around the shared caches -- real parallelism is
+    the worker pool's job; this executor's job is determinism and zero
+    process overhead for tests and small deployments.
+    """
+
+    def __init__(self, catalog: Optional[KernelCatalog] = None) -> None:
+        self._catalog = catalog if catalog is not None else default_catalog()
+        self._metrics: Dict[str, CostMetric] = {}
+        self._lock = threading.Lock()
+        self.requests_served = 0
+        self.errors = 0
+
+    @property
+    def workers(self) -> int:
+        return 0
+
+    def submit(self, request: CompileRequest, timeout: Optional[float] = None) -> CompileResponse:
+        with self._lock:
+            response = execute_request(
+                request, catalog=self._catalog, metrics=self._metrics
+            )
+            self.requests_served += 1
+            if not response.ok:
+                self.errors += 1
+            return response
+
+    def compile_batch(
+        self, requests: Sequence[CompileRequest], timeout: Optional[float] = None
+    ) -> List[CompileResponse]:
+        return [self.submit(request) for request in requests]
+
+    def stats(self) -> dict:
+        with self._lock:
+            caches = telemetry.snapshot(self._catalog, self._metrics)
+        pooled = telemetry.aggregate([caches])
+        return {
+            "mode": "in-process",
+            "workers": 0,
+            "pool": {
+                "requests": self.requests_served,
+                "errors": self.errors,
+                "restarts": 0,
+            },
+            "caches": pooled,
+            "per_worker": [
+                {"worker": None, "requests": self.requests_served, "caches": caches}
+            ],
+        }
+
+    def reset_stats(self) -> None:
+        with self._lock:
+            telemetry.reset(self._catalog, self._metrics)
+            self.requests_served = 0
+            self.errors = 0
+
+    def ping(self) -> dict:
+        return {"status": "ok", "mode": "in-process", "workers": 0, "alive": 0}
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "InProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker process main loop.
+# ---------------------------------------------------------------------------
+
+def _worker_main(worker_id: int, inbox, outbox) -> None:
+    """Serve requests until shutdown; every cache stays warm in between.
+
+    Messages are ``(kind, token, payload)`` tuples; every message except
+    ``shutdown``/``crash`` is answered with ``(token, payload)`` on *outbox*.
+    """
+    catalog = default_catalog()
+    metrics: Dict[str, CostMetric] = {}
+    served = 0
+    failed = 0
+    while True:
+        kind, token, payload = inbox.get()
+        if kind == "shutdown":
+            break
+        if kind == "crash":  # test hook: simulate a hard worker death
+            os._exit(17)
+        if kind == "request":
+            try:
+                request = CompileRequest.from_dict(payload)
+                response = execute_request(
+                    request, catalog=catalog, metrics=metrics, worker=worker_id
+                )
+            except Exception as exc:  # noqa: BLE001 -- never kill the loop
+                response = CompileResponse(
+                    request_id=str((payload or {}).get("request_id", "")),
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    worker=worker_id,
+                )
+            served += 1
+            if not response.ok:
+                failed += 1
+            outbox.put((token, response.to_dict()))
+        elif kind == "stats":
+            outbox.put(
+                (
+                    token,
+                    {
+                        "worker": worker_id,
+                        "pid": os.getpid(),
+                        "requests": served,
+                        "errors": failed,
+                        "caches": telemetry.snapshot(catalog, metrics),
+                    },
+                )
+            )
+        elif kind == "reset_stats":
+            telemetry.reset(catalog, metrics)
+            served = 0
+            failed = 0
+            outbox.put((token, True))
+        elif kind == "ping":
+            outbox.put((token, {"worker": worker_id, "pid": os.getpid()}))
+        else:  # unknown control message: answer rather than wedge the caller
+            outbox.put((token, {"error": f"unknown message kind {kind!r}"}))
+
+
+# ---------------------------------------------------------------------------
+# The pool.
+# ---------------------------------------------------------------------------
+
+class WorkerPool:
+    """A pool of persistent warm-cache compiler worker processes."""
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        start_method: Optional[str] = None,
+        request_timeout: float = 300.0,
+        max_retries: int = 2,
+    ) -> None:
+        count = workers if workers and workers > 0 else min(4, os.cpu_count() or 1)
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self.request_timeout = request_timeout
+        self.max_retries = max_retries
+        self.restarts = 0
+        self.batches = 0
+
+        self._inboxes = [self._ctx.Queue() for _ in range(count)]
+        self._outbox = self._ctx.Queue()
+        self._procs: List[Optional[multiprocessing.Process]] = [None] * count
+        self._lock = threading.Lock()
+        self._tokens = itertools.count()
+        self._events: Dict[int, threading.Event] = {}
+        self._results: Dict[int, object] = {}
+        #: token -> [worker_index, kind, payload, retries] for in-flight work.
+        self._inflight: Dict[int, list] = {}
+        self._closed = False
+
+        for index in range(count):
+            self._spawn(index)
+        self._collector = threading.Thread(
+            target=self._collect, name="repro-service-collector", daemon=True
+        )
+        self._collector.start()
+
+    # ------------------------------------------------------------ lifecycle
+    @property
+    def workers(self) -> int:
+        return len(self._procs)
+
+    def _spawn(self, index: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(index, self._inboxes[index], self._outbox),
+            name=f"repro-service-worker-{index}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[index] = proc
+
+    def close(self) -> None:
+        """Shut every worker down and stop the collector."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for inbox in self._inboxes:
+            try:
+                inbox.put(("shutdown", None, None))
+            except Exception:  # noqa: BLE001 -- queue may already be broken
+                pass
+        for proc in self._procs:
+            if proc is not None:
+                proc.join(timeout=5.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=1.0)
+        self._outbox.put(None)
+        self._collector.join(timeout=5.0)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------ transport
+    def _collect(self) -> None:
+        """Single reader of the shared outbox; fills result slots."""
+        while True:
+            try:
+                item = self._outbox.get()
+            except Exception:  # noqa: BLE001 -- EOFError/OSError/unpickling
+                # A worker hard-killed mid-write can corrupt one queue
+                # message (EOFError / unpickling errors).  Losing that
+                # message is recoverable -- the waiter times out and the
+                # crash path resubmits -- but losing the *collector* would
+                # wedge the whole pool, so swallow and keep reading.
+                with self._lock:
+                    if self._closed:
+                        return
+                time.sleep(_POLL_INTERVAL)
+                continue
+            if item is None:
+                return
+            token, payload = item
+            with self._lock:
+                event = self._events.get(token)
+                if event is None:
+                    # Late or duplicate delivery (timed-out waiter, or a
+                    # request that ran twice around a crash): drop it.
+                    continue
+                self._inflight.pop(token, None)
+                self._results[token] = payload
+            event.set()
+
+    def _dispatch(self, index: int, kind: str, payload) -> int:
+        token = next(self._tokens)
+        event = threading.Event()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            self._events[token] = event
+            self._inflight[token] = [index, kind, payload, 0]
+        self._inboxes[index].put((kind, token, payload))
+        return token
+
+    def _check_workers(self) -> None:
+        """Restart dead workers and resubmit (or fail) their in-flight work."""
+        with self._lock:
+            if self._closed:
+                return
+            for index, proc in enumerate(self._procs):
+                if proc is None or proc.is_alive():
+                    continue
+                proc.join(timeout=0.1)
+                self._spawn(index)
+                self.restarts += 1
+                for token, entry in list(self._inflight.items()):
+                    if entry[0] != index:
+                        continue
+                    entry[3] += 1
+                    if entry[3] > self.max_retries:
+                        del self._inflight[token]
+                        self._results[token] = self._failure_payload(entry)
+                        event = self._events.get(token)
+                        if event is not None:
+                            event.set()
+                    else:
+                        self._inboxes[index].put((entry[1], token, entry[2]))
+
+    @staticmethod
+    def _failure_payload(entry: list) -> object:
+        index, kind, payload, retries = entry
+        message = f"worker {index} crashed {retries} times processing this message"
+        if kind == "request":
+            return CompileResponse(
+                request_id=str((payload or {}).get("request_id", "")),
+                ok=False,
+                error=message,
+                worker=index,
+            ).to_dict()
+        return {"error": message, "worker": index}
+
+    def _wait(self, token: int, timeout: Optional[float]):
+        deadline = time.monotonic() + (
+            timeout if timeout is not None else self.request_timeout
+        )
+        event = self._events[token]
+        while not event.wait(_POLL_INTERVAL):
+            self._check_workers()
+            if time.monotonic() > deadline:
+                # Deregister the event in the same critical section as the
+                # result/inflight cleanup: a late delivery racing with this
+                # cleanup must either land before it (and be popped here) or
+                # see no event and be dropped -- never leak a result slot.
+                with self._lock:
+                    self._events.pop(token, None)
+                    entry = self._inflight.pop(token, None)
+                    self._results.pop(token, None)
+                return self._timeout_payload(token, entry)
+        with self._lock:
+            self._events.pop(token, None)
+            return self._results.pop(token)
+
+    @staticmethod
+    def _timeout_payload(token: int, entry) -> object:
+        kind = entry[1] if entry else "request"
+        message = "request timed out waiting for a worker"
+        if kind == "request":
+            payload = entry[2] if entry else None
+            return CompileResponse(
+                request_id=str((payload or {}).get("request_id", "")),
+                ok=False,
+                error=message,
+            ).to_dict()
+        return {"error": message}
+
+    # -------------------------------------------------------------- routing
+    def worker_for(self, request: CompileRequest) -> int:
+        """Affinity routing: structurally similar requests share a worker."""
+        key = affinity_key(request)
+        # Stable across processes and runs (unlike ``hash`` on strings).
+        digest = 0
+        for char in key:
+            digest = (digest * 1000003 + ord(char)) & 0xFFFFFFFF
+        return digest % len(self._procs)
+
+    # ------------------------------------------------------------------ API
+    def submit(
+        self, request: CompileRequest, timeout: Optional[float] = None
+    ) -> CompileResponse:
+        token = self._dispatch(self.worker_for(request), "request", request.to_dict())
+        return CompileResponse.from_dict(self._wait(token, timeout))
+
+    def compile_batch(
+        self, requests: Sequence[CompileRequest], timeout: Optional[float] = None
+    ) -> List[CompileResponse]:
+        """Compile many requests concurrently across the pool.
+
+        All requests are dispatched before any response is awaited, so the
+        batch spreads over every worker the affinity map names; responses
+        come back in submission order.
+        """
+        with self._lock:
+            self.batches += 1
+        tokens = [
+            self._dispatch(self.worker_for(request), "request", request.to_dict())
+            for request in requests
+        ]
+        return [
+            CompileResponse.from_dict(self._wait(token, timeout)) for token in tokens
+        ]
+
+    def stats(self, timeout: float = 30.0) -> dict:
+        """Pooled cache telemetry: per-worker snapshots plus fleet totals."""
+        tokens = [
+            self._dispatch(index, "stats", None) for index in range(self.workers)
+        ]
+        per_worker = [self._wait(token, timeout) for token in tokens]
+        usable = [
+            entry
+            for entry in per_worker
+            if isinstance(entry, dict) and "caches" in entry
+        ]
+        pooled = telemetry.aggregate([entry["caches"] for entry in usable])
+        return {
+            "mode": "pool",
+            "workers": self.workers,
+            "start_method": self.start_method,
+            "pool": {
+                "requests": sum(entry.get("requests", 0) for entry in usable),
+                "errors": sum(entry.get("errors", 0) for entry in usable),
+                "restarts": self.restarts,
+                "batches": self.batches,
+            },
+            "caches": pooled,
+            "per_worker": per_worker,
+        }
+
+    def reset_stats(self, timeout: float = 30.0) -> None:
+        tokens = [
+            self._dispatch(index, "reset_stats", None)
+            for index in range(self.workers)
+        ]
+        for token in tokens:
+            self._wait(token, timeout)
+
+    def ping(self, timeout: float = 10.0) -> dict:
+        """Probe every worker (dead ones are restarted by the wait loop)."""
+        tokens = [
+            self._dispatch(index, "ping", None) for index in range(self.workers)
+        ]
+        replies = [self._wait(token, timeout) for token in tokens]
+        alive = sum(
+            1 for reply in replies if isinstance(reply, dict) and "pid" in reply
+        )
+        return {
+            "status": "ok" if alive == self.workers else "degraded",
+            "mode": "pool",
+            "workers": self.workers,
+            "alive": alive,
+            "restarts": self.restarts,
+        }
+
+    # ------------------------------------------------------------ test hooks
+    def crash_worker(self, index: int, wait: float = 10.0) -> None:
+        """Make worker *index* die hard (``os._exit``); used by tests."""
+        proc = self._procs[index]
+        self._inboxes[index].put(("crash", None, None))
+        if proc is not None:
+            proc.join(timeout=wait)
+
+
+def create_executor(
+    workers: Optional[int] = None,
+    in_process: bool = False,
+    **pool_options,
+):
+    """Build the right executor: a pool, or the in-process fallback.
+
+    ``in_process=True`` or ``workers=0`` selects :class:`InProcessExecutor`
+    (no subprocesses -- what tier-1 tests use); anything else builds a
+    :class:`WorkerPool` with *workers* processes (default: ``min(4,
+    cpu_count)``).
+    """
+    if in_process or (workers is not None and workers <= 0):
+        return InProcessExecutor()
+    return WorkerPool(workers=workers, **pool_options)

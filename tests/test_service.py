@@ -1,0 +1,427 @@
+"""Tests for the compilation service (API, executors, pool, HTTP)."""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.frontend import compile_source
+from repro.service import (
+    CompileRequest,
+    CompileResponse,
+    InProcessExecutor,
+    RequestError,
+    WorkerPool,
+    affinity_key,
+    create_executor,
+    execute_request,
+)
+from repro.service.http import start_server
+
+#: Template for structurally similar chains: same shapes/properties/structure,
+#: different operand names per tag (so identity/equality caches miss but the
+#: signature-keyed match cache hits).
+TEMPLATE = """
+Matrix A{t} (200, 200) <spd>
+Matrix B{t} (200, 100) <>
+Matrix C{t} (100, 100) <lower_triangular, non_singular>
+X := A{t}^-1 * B{t} * C{t}^T
+"""
+
+
+def similar_sources(count: int, prefix: str = "S"):
+    return [TEMPLATE.replace("{t}", f"{prefix}{index}") for index in range(count)]
+
+
+# ---------------------------------------------------------------------------
+# Request/response model
+# ---------------------------------------------------------------------------
+
+class TestApi:
+    def test_request_roundtrips_through_dict(self):
+        request = CompileRequest(
+            source="Matrix A (4, 4) <>\nX := A * A\n",
+            metric="flops",
+            solver="topdown",
+            emit=("julia",),
+            prune=False,
+            use_match_cache=False,
+        )
+        clone = CompileRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+        assert clone == request
+
+    def test_structured_spec_equals_source(self):
+        structured = CompileRequest(
+            operands={
+                "A": {"rows": 200, "columns": 200, "properties": ["spd"]},
+                "B": {"rows": 200, "columns": 100},
+            },
+            assignments=[{"target": "X", "expression": "A^-1 * B"}],
+        )
+        textual = CompileRequest(
+            source="Matrix A (200, 200) <spd>\nMatrix B (200, 100) <>\nX := A^-1 * B\n"
+        )
+        left = execute_request(structured)
+        right = execute_request(textual)
+        assert left.ok and right.ok
+        assert left.kernel_sequences == right.kernel_sequences == {"X": ["POSV"]}
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},  # neither source nor spec
+            {"source": "X := A\n", "metric": "nonsense"},
+            {"source": "X := A\n", "solver": "nonsense"},
+            {"source": "X := A\n", "emit": ["fortran"]},
+            {"source": "X := A\n", "bogus_field": 1},
+        ],
+    )
+    def test_malformed_requests_raise(self, payload):
+        with pytest.raises(RequestError):
+            CompileRequest.from_dict(payload)
+
+    def test_execution_errors_fold_into_response(self):
+        response = execute_request(CompileRequest(source="this is not DSL"))
+        assert not response.ok
+        assert response.error
+        assert response.assignments == []
+
+    def test_response_roundtrips_through_dict(self):
+        response = execute_request(CompileRequest(source=similar_sources(1)[0]))
+        clone = CompileResponse.from_dict(json.loads(json.dumps(response.to_dict())))
+        assert clone.kernel_sequences == response.kernel_sequences
+        assert clone.ok and clone.total_flops == response.total_flops
+
+    def test_affinity_key_is_name_abstracted(self):
+        a, b = similar_sources(2)
+        assert affinity_key(CompileRequest(source=a)) == affinity_key(
+            CompileRequest(source=b)
+        )
+        different = CompileRequest(
+            source="Matrix A (7, 7) <>\nX := A * A * A\n"
+        )
+        assert affinity_key(CompileRequest(source=a)) != affinity_key(different)
+
+
+# ---------------------------------------------------------------------------
+# In-process executor (the tier-1 path: no processes are spawned)
+# ---------------------------------------------------------------------------
+
+class TestInProcessExecutor:
+    def test_create_executor_fallback_spawns_nothing(self):
+        before = multiprocessing.active_children()
+        executor = create_executor(in_process=True)
+        assert isinstance(executor, InProcessExecutor)
+        assert executor.workers == 0
+        executor.submit(CompileRequest(source=similar_sources(1)[0]))
+        assert multiprocessing.active_children() == before
+        executor.close()
+        assert isinstance(create_executor(workers=0), InProcessExecutor)
+
+    def test_batch_matches_compile_source(self):
+        sources = similar_sources(20, prefix="InP")
+        with create_executor(in_process=True) as executor:
+            responses = executor.compile_batch(
+                [CompileRequest(source=source) for source in sources]
+            )
+        assert all(response.ok for response in responses)
+        for source, response in zip(sources, responses):
+            direct = compile_source(source)
+            assert response.assignment("X").kernels == direct.assignment(
+                "X"
+            ).kernel_sequence
+            assert response.assignment("X").flops == pytest.approx(
+                direct.assignment("X").flops
+            )
+
+    def test_emitted_code_matches_frontend(self):
+        import re
+
+        def normalized(code: str) -> str:
+            # Temporary names draw from a process-global counter, so two
+            # compilations of the same source differ only in T<n> numbering.
+            return re.sub(r"\bT\d+\b", "T#", code)
+
+        source = similar_sources(1, prefix="Code")[0]
+        with create_executor(in_process=True) as executor:
+            response = executor.submit(
+                CompileRequest(source=source, emit=("julia", "numpy"))
+            )
+        direct = compile_source(source)
+        assert normalized(response.assignment("X").code["julia"]) == normalized(
+            direct.assignment("X").julia()
+        )
+        assert normalized(response.assignment("X").code["numpy"]) == normalized(
+            direct.assignment("X").numpy()
+        )
+
+    def test_stats_reflect_real_hits_and_reset(self):
+        with create_executor(in_process=True) as executor:
+            executor.reset_stats()
+            sources = similar_sources(6, prefix="Stats")
+            executor.compile_batch([CompileRequest(source=s) for s in sources])
+            stats = executor.stats()
+            assert stats["mode"] == "in-process"
+            assert stats["pool"]["requests"] == 6
+            match = stats["caches"]["match_cache"]
+            # Request 2..6 are structurally identical to request 1, so the
+            # signature-keyed cache must hit on the warm majority.
+            assert match["hits"] > 0
+            assert match["hit_rate"] > 0.5
+            for layer in ("match_cache", "interner", "inference", "kernel_cost"):
+                entry = stats["caches"][layer]
+                for key in ("hits", "misses", "hit_rate", "size", "evictions"):
+                    assert key in entry, (layer, key)
+            executor.reset_stats()
+            after = executor.stats()
+            assert after["pool"]["requests"] == 0
+            assert after["caches"]["match_cache"]["hits"] == 0
+
+    def test_bad_request_is_error_response(self):
+        with create_executor(in_process=True) as executor:
+            response = executor.submit(CompileRequest(source="garbage ::= input"))
+        assert not response.ok
+        assert "Error" in (response.error or "")
+
+    def test_concurrent_requests_stay_consistent(self):
+        """Concurrent submits through the shared caches corrupt nothing."""
+        sources = similar_sources(8, prefix="Thr") + [
+            "Matrix D (60, 60) <diagonal, non_singular>\n"
+            "Matrix E (60, 30) <>\nY := D^-1 * E\n"
+        ] * 4
+        expected = {
+            source: compile_source(source).assignments[0].kernel_sequence
+            for source in set(sources)
+        }
+        with create_executor(in_process=True) as executor:
+            with ThreadPoolExecutor(max_workers=6) as threads:
+                responses = list(
+                    threads.map(
+                        lambda source: executor.submit(CompileRequest(source=source)),
+                        sources * 3,
+                    )
+                )
+        for source, response in zip(sources * 3, responses):
+            assert response.ok, response.error
+            assert response.assignments[0].kernels == expected[source]
+
+
+# ---------------------------------------------------------------------------
+# Worker pool (persistent warm-cache processes)
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def pool():
+    pool = WorkerPool(workers=2, request_timeout=120.0)
+    yield pool
+    pool.close()
+
+
+class TestWorkerPool:
+    def test_batch_matches_compile_source(self, pool):
+        sources = similar_sources(10, prefix="Pool")
+        responses = pool.compile_batch(
+            [CompileRequest(source=source) for source in sources]
+        )
+        assert all(response.ok for response in responses)
+        direct = compile_source(sources[0])
+        for response in responses:
+            assert response.assignment("X").kernels == direct.assignment(
+                "X"
+            ).kernel_sequence
+
+    def test_affinity_routes_similar_requests_to_one_worker(self, pool):
+        requests = [CompileRequest(source=s) for s in similar_sources(5, prefix="Aff")]
+        workers = {pool.worker_for(request) for request in requests}
+        assert len(workers) == 1
+        responses = pool.compile_batch(requests)
+        assert {response.worker for response in responses} == workers
+
+    def test_pooled_stats_reflect_hits(self, pool):
+        pool.reset_stats()
+        sources = similar_sources(8, prefix="PStats")
+        pool.compile_batch([CompileRequest(source=source) for source in sources])
+        stats = pool.stats()
+        assert stats["mode"] == "pool"
+        assert stats["workers"] == 2
+        assert stats["pool"]["requests"] == 8
+        assert stats["caches"]["match_cache"]["hit_rate"] > 0.5
+        assert len(stats["per_worker"]) == 2
+
+    def test_worker_crash_restarts_and_recovers(self, pool):
+        requests = [
+            CompileRequest(source=s) for s in similar_sources(4, prefix="Crash")
+        ]
+        target = pool.worker_for(requests[0])
+        restarts_before = pool.restarts
+        pool.crash_worker(target)
+        assert not pool._procs[target].is_alive()
+        responses = pool.compile_batch(requests, timeout=60.0)
+        assert all(response.ok for response in responses)
+        assert pool.restarts == restarts_before + 1
+        assert pool.ping()["status"] == "ok"
+
+    def test_ping_reports_all_workers(self, pool):
+        health = pool.ping()
+        assert health["alive"] == health["workers"] == 2
+
+
+# ---------------------------------------------------------------------------
+# HTTP front-end
+# ---------------------------------------------------------------------------
+
+@pytest.fixture(scope="class")
+def http_service():
+    executor = InProcessExecutor()
+    server, thread = start_server(executor, port=0)
+    base = f"http://127.0.0.1:{server.server_address[1]}"
+    yield base
+    server.shutdown()
+    thread.join(timeout=5.0)
+    executor.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url,
+        data=json.dumps(payload).encode("utf-8"),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=60) as response:
+        return response.status, json.loads(response.read())
+
+
+class TestHTTP:
+    def test_compile_endpoint_matches_direct(self, http_service):
+        source = similar_sources(1, prefix="Http")[0]
+        status, body = _post(f"{http_service}/compile", {"source": source})
+        assert status == 200 and body["ok"]
+        direct = compile_source(source)
+        assert body["assignments"][0]["kernels"] == direct.assignment(
+            "X"
+        ).kernel_sequence
+
+    def test_batch_endpoint(self, http_service):
+        sources = similar_sources(5, prefix="HBatch")
+        status, body = _post(
+            f"{http_service}/batch",
+            {"requests": [{"source": source} for source in sources]},
+        )
+        assert status == 200
+        assert body["count"] == 5 and body["failed"] == 0
+        kernels = {
+            tuple(response["assignments"][0]["kernels"])
+            for response in body["responses"]
+        }
+        assert len(kernels) == 1
+
+    def test_stats_reflect_real_hit_counts(self, http_service):
+        _, before = _get(f"{http_service}/stats")
+        sources = similar_sources(4, prefix="HStats")
+        _post(
+            f"{http_service}/batch",
+            {"requests": [{"source": source} for source in sources]},
+        )
+        _, after = _get(f"{http_service}/stats")
+        layer_before = before["caches"]["match_cache"]
+        layer_after = after["caches"]["match_cache"]
+        assert layer_after["hits"] > layer_before["hits"]
+        new_lookups = (
+            layer_after["hits"]
+            + layer_after["misses"]
+            - layer_before["hits"]
+            - layer_before["misses"]
+        )
+        new_hits = layer_after["hits"] - layer_before["hits"]
+        assert new_lookups > 0
+        assert new_hits / new_lookups > 0.5
+
+    def test_healthz(self, http_service):
+        status, body = _get(f"{http_service}/healthz")
+        assert status == 200 and body["status"] == "ok"
+
+    def test_malformed_json_is_400(self, http_service):
+        request = urllib.request.Request(
+            f"{http_service}/compile",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_unknown_field_is_400(self, http_service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{http_service}/compile", {"sauce": "typo"})
+        assert excinfo.value.code == 400
+
+    def test_compile_error_is_400_with_error_body(self, http_service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(f"{http_service}/compile", {"source": "garbage ::= input"})
+        assert excinfo.value.code == 400
+        body = json.loads(excinfo.value.read())
+        assert body["ok"] is False and body["error"]
+
+    def test_unknown_path_is_404(self, http_service):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{http_service}/nope")
+        assert excinfo.value.code == 404
+
+
+# ---------------------------------------------------------------------------
+# CLI (--serve boots a working server)
+# ---------------------------------------------------------------------------
+
+class TestServeCLI:
+    def test_serve_flag_boots_http_server(self):
+        import re
+        import subprocess
+        import sys
+        import time
+
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-u",
+                "-m",
+                "repro.frontend",
+                "--serve",
+                "--in-process",
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+        )
+        try:
+            banner = process.stdout.readline()
+            match = re.search(r"http://127\.0\.0\.1:(\d+)", banner)
+            assert match, f"no address in banner: {banner!r}"
+            base = f"http://127.0.0.1:{match.group(1)}"
+            deadline = time.time() + 30
+            while True:
+                try:
+                    status, body = _get(f"{base}/healthz")
+                    break
+                except OSError:
+                    assert time.time() < deadline, "server never became healthy"
+                    time.sleep(0.2)
+            assert status == 200 and body["status"] == "ok"
+            status, body = _post(
+                f"{base}/compile", {"source": similar_sources(1, "Cli")[0]}
+            )
+            assert status == 200 and body["ok"]
+        finally:
+            process.terminate()
+            process.wait(timeout=10)
