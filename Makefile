@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke paper-benchmarks serve service-check
+.PHONY: test test-fast bench bench-smoke paper-benchmarks serve service-check api-check
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -23,6 +23,10 @@ serve:
 ## End-to-end check against a freshly booted HTTP server (what CI runs).
 service-check:
 	$(PYTHON) scripts/ci_service_check.py --workers 2 --batch 24
+
+## Public-API surface manifest + internal deprecation hygiene (what CI runs).
+api-check:
+	$(PYTHON) scripts/ci_api_check.py
 
 ## CI-sized benchmark (fails on legacy/memoized solution divergence).
 bench-smoke:

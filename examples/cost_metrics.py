@@ -14,7 +14,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import GMCAlgorithm, Matrix, Property
+from repro import CompileOptions, GMCAlgorithm, Matrix, Property
 from repro.algebra import Times
 from repro.cost import (
     AccuracyMetric,
@@ -30,7 +30,7 @@ def report(title: str, expression, metrics) -> None:
     print(f"  expression: {expression}")
     print(f"  {'metric':<22} {'parenthesization':<42} {'kernels':<28} {'cost'}")
     for name, metric in metrics:
-        solution = GMCAlgorithm(metric=metric).solve(expression)
+        solution = GMCAlgorithm(CompileOptions(metric=metric)).solve(expression)
         kernels = " -> ".join(solution.kernel_sequence())
         cost = solution.optimal_cost
         cost_text = (

@@ -5,6 +5,10 @@ This walks through the core workflow of the library on the running example
 of the paper (Table 2): computing ``X := A^-1 B C^T`` where ``A`` is
 symmetric positive definite and ``C`` is lower triangular.
 
+The front door is the :class:`repro.Compiler` session configured by one
+:class:`repro.CompileOptions` value -- the same objects behind the CLI
+(``python -m repro.frontend``) and the HTTP compilation service.
+
 Run with::
 
     python examples/quickstart.py
@@ -12,10 +16,7 @@ Run with::
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro import GMCAlgorithm, Matrix, Property
-from repro.codegen import generate_julia, generate_numpy
+from repro import CompileOptions, Compiler, Matrix, Property
 from repro.runtime import allclose, execute_program, instantiate_expression
 
 
@@ -30,22 +31,26 @@ def main() -> None:
     expression = a.I * b * c.T
     print(f"expression: X := {expression}\n")
 
-    # 3. Run the Generalized Matrix Chain algorithm.
-    gmc = GMCAlgorithm()                     # FLOP-count metric by default
-    solution = gmc.solve(expression)
-    print(solution)
-    print(f"  generation time:  {solution.generation_time * 1e3:.2f} ms\n")
+    # 3. Build a compilation session and compile the expression.  The
+    #    session owns the kernel catalog and every warm cache; the options
+    #    value is the single place behavior is configured.
+    compiler = Compiler(CompileOptions(metric="flops"))
+    result = compiler.compile(expression)
+    compiled = result.assignment("X")
+    print(compiled.solution)
+    print(f"  generation time:  {compiled.solution.generation_time * 1e3:.2f} ms\n")
 
-    # 4. Materialize the kernel program and look at the generated code.
-    program = solution.program()
+    # 4. Look at the kernel program and the generated code.  Emitters are
+    #    looked up by name in the codegen registry; result.emit("julia")
+    #    and result.emit("numpy") use the two built-in back-ends.
     print("kernel program:")
-    print(program)
+    print(compiled.program)
     print()
     print("Julia-style code (cf. Table 2 of the paper):")
-    print(generate_julia(program))
+    print(result.emit("julia"))
     print()
     print("NumPy code:")
-    print(generate_numpy(program))
+    print(result.emit("numpy"))
     print()
 
     # 5. Execute the program on (smaller) random operands and validate it
@@ -54,14 +59,18 @@ def main() -> None:
     small_b = Matrix("B", 200, 150)
     small_c = Matrix("C", 150, 150, {Property.LOWER_TRIANGULAR, Property.NON_SINGULAR})
     small_expression = small_a.I * small_b * small_c.T
-    small_program = gmc.generate(small_expression)
+    small_program = compiler.compile(small_expression).assignment("X").program
     environment = instantiate_expression(small_expression, seed=0)
-    result = execute_program(small_program, environment)
-    print(f"executed on 200x200 operands, result shape {result.shape}")
-    print(f"matches the direct evaluation: {allclose(small_expression, environment, result)}")
+    result_array = execute_program(small_program, environment)
+    print(f"executed on 200x200 operands, result shape {result_array.shape}")
+    print(
+        f"matches the direct evaluation: "
+        f"{allclose(small_expression, environment, result_array)}"
+    )
 
-    # 6. The same with a different cost metric: estimated execution time.
-    timed = GMCAlgorithm(metric="time").solve(expression)
+    # 6. The same session with a different cost metric: per-call options
+    #    override the session options (the catalog and caches stay shared).
+    timed = compiler.solve(expression, metric="time")
     print()
     print(f"time-metric parenthesization: {timed.parenthesization()}")
     print(f"estimated execution time:     {timed.optimal_cost * 1e3:.2f} ms (modeled)")

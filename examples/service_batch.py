@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import argparse
 
-from repro.service import CompileRequest, create_executor
+from repro.service import CompileOptions, CompileRequest, create_executor
 
 TEMPLATE = """
 Matrix A{t} (300, 300) <spd>
@@ -47,8 +47,9 @@ def main() -> int:
     )
     args = parser.parse_args()
 
+    options = CompileOptions(emit=("julia",))
     requests = [
-        CompileRequest(source=TEMPLATE.replace("{t}", str(index)), emit=("julia",))
+        CompileRequest(source=TEMPLATE.replace("{t}", str(index)), options=options)
         for index in range(args.batch)
     ]
 

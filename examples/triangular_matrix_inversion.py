@@ -15,7 +15,7 @@ Run with::
 
 from __future__ import annotations
 
-from repro import GMCAlgorithm, Matrix, Property
+from repro import CompileOptions, GMCAlgorithm, Matrix, Property
 from repro.algebra import Times
 from repro.codegen import generate_julia
 from repro.kernels import default_catalog
@@ -65,9 +65,9 @@ def main() -> None:
 
     # An ablation: what does the solution look like if the catalog has no
     # property-specialized kernels at all (Section 3.2 motivation)?
-    generic_solution = GMCAlgorithm(catalog=default_catalog(include_specialized=False)).solve(
-        structured
-    )
+    generic_solution = GMCAlgorithm(
+        CompileOptions(catalog=default_catalog(include_specialized=False))
+    ).solve(structured)
     print(
         "without specialized kernels in the catalog the same chain needs "
         f"{generic_solution.total_flops / 1e6:.1f} MFLOPs "

@@ -74,6 +74,7 @@ from repro.experiments.workload import ChainGenerator
 from repro.kernels.catalog import KernelCatalog, build_default_kernels
 from repro.matching.discrimination_net import legacy_binding
 from repro.matching.match_cache import match_caching_disabled
+from repro.options import CompileOptions
 
 
 def make_problems(length: int, count: int, seed: int):
@@ -99,7 +100,7 @@ def time_solves(problems, repeats: int, prune: bool = True):
     The metric instance is fresh per call so its kernel-cost cache never
     leaks across configurations.
     """
-    algorithm = GMCAlgorithm(metric=FlopCount(), prune=prune)
+    algorithm = GMCAlgorithm(CompileOptions(metric=FlopCount(), prune=prune))
     best = [math.inf] * len(problems)
     solutions = [None] * len(problems)
     for _ in range(repeats):
@@ -146,23 +147,29 @@ def run_match_cache(lengths, chains_per_length, seed, repeats=1):
     for length in lengths:
         problems = make_problems(length, chains_per_length, seed + length)
         # A private catalog => a private match cache, so hit-rate stats are
-        # exact and the process-wide default catalog stays untouched.
+        # exact and the process-wide default catalog stays untouched.  The
+        # baseline configuration (no match cache, no pruning) is spelled
+        # explicitly through CompileOptions rather than the process-global
+        # match_caching_disabled() toggle.
         catalog = KernelCatalog(build_default_kernels(), name="bench")
-        baseline = GMCAlgorithm(catalog=catalog, metric=FlopCount(), prune=False)
-        cached = GMCAlgorithm(catalog=catalog, metric=FlopCount())
+        baseline_options = CompileOptions(
+            catalog=catalog, metric=FlopCount(), prune=False, match_cache=False
+        )
+        cached_options = CompileOptions(catalog=catalog, metric=FlopCount())
+        baseline = GMCAlgorithm(baseline_options)
+        cached = GMCAlgorithm(cached_options)
 
         clear_inference_cache()
         clear_intern_table()
         baseline_repeat_s = math.inf
-        with match_caching_disabled():
-            for problem in problems:  # warm-up pass (inference, interning)
-                baseline.solve(problem.expression)
-            for _ in range(repeats):
-                start = time.perf_counter()
-                baseline_solutions = [baseline.solve(p.expression) for p in problems]
-                baseline_repeat_s = min(
-                    baseline_repeat_s, time.perf_counter() - start
-                )
+        for problem in problems:  # warm-up pass (inference, interning)
+            baseline.solve(problem.expression)
+        for _ in range(repeats):
+            start = time.perf_counter()
+            baseline_solutions = [baseline.solve(p.expression) for p in problems]
+            baseline_repeat_s = min(
+                baseline_repeat_s, time.perf_counter() - start
+            )
 
         cold_s = math.inf
         for _ in range(repeats):
@@ -171,7 +178,9 @@ def run_match_cache(lengths, chains_per_length, seed, repeats=1):
             clear_inference_cache()
             clear_intern_table()
             catalog.match_cache.clear()
-            cold_algorithm = GMCAlgorithm(catalog=catalog, metric=FlopCount())
+            cold_algorithm = GMCAlgorithm(
+                cached_options.replace(metric=FlopCount())
+            )
             start = time.perf_counter()
             cold_solutions = [cold_algorithm.solve(p.expression) for p in problems]
             cold_s = min(cold_s, time.perf_counter() - start)
@@ -266,7 +275,7 @@ def run_service(workers, batch_size, rounds, seed, length=8, in_process=False):
     ``stats()`` delta -- the same numbers ``GET /stats`` serves in the HTTP
     front-end.
     """
-    from repro.frontend import compile_source
+    from repro.frontend import Compiler
     from repro.service.api import CompileRequest
     from repro.service.pool import create_executor
 
@@ -275,10 +284,16 @@ def run_service(workers, batch_size, rounds, seed, length=8, in_process=False):
     mismatches = []
     # Fork the workers *before* compiling the references: under fork, a
     # child inherits the parent's caches, so warming the parent first would
-    # make the "cold" batch secretly warm.
+    # make the "cold" batch secretly warm.  The references reuse one warm
+    # Compiler session -- the same class each pool worker holds.
     executor = create_executor(workers=workers, in_process=in_process)
+    reference_compiler = Compiler()
     references = [
-        list(compile_source(problem_source(problem, "ref")).assignments[0].kernel_sequence)
+        list(
+            reference_compiler.compile(problem_source(problem, "ref"))
+            .assignments[0]
+            .kernel_sequence
+        )
         for problem in problems
     ]
     try:

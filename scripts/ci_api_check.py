@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""CI gate on the public API surface and on internal deprecation hygiene.
+
+Two checks, both wired into the ``api-check`` CI job:
+
+1. **Surface stability** -- imports ``repro`` (and the sub-packages that
+   define the compiler's public face), asserts that every ``__all__`` name
+   resolves, and compares the surfaces against the checked-in manifest
+   ``scripts/api_surface.json``.  An intentional API change must update the
+   manifest in the same commit (``--update`` regenerates it), which turns
+   silent surface drift into an explicit, reviewable diff.
+
+2. **Internal deprecation hygiene** -- runs the tier-1 suite with
+   ``DeprecationWarning`` escalated to an error for every warning attributed
+   to a ``repro.*`` module (``filterwarnings=error::DeprecationWarning:repro\\..*``).
+   The legacy call-shape shims (``compile_source(metric=...)``,
+   ``GMCAlgorithm(catalog=...)``, flat ``CompileRequest`` wire fields) warn
+   with a ``stacklevel`` that attributes the warning to *their caller*, so
+   this escalation means: external callers (including the tests that cover
+   the shims) merely see a warning, while the library calling one of its own
+   deprecated paths fails the build.
+
+Usage::
+
+    PYTHONPATH=src python scripts/ci_api_check.py            # check
+    PYTHONPATH=src python scripts/ci_api_check.py --update   # rewrite manifest
+    PYTHONPATH=src python scripts/ci_api_check.py --no-tests # surface only
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+MANIFEST = REPO_ROOT / "scripts" / "api_surface.json"
+
+#: Modules whose ``__all__`` constitutes the supported public surface.
+SURFACE_MODULES = (
+    "repro",
+    "repro.options",
+    "repro.frontend",
+    "repro.core",
+    "repro.codegen",
+    "repro.service",
+    "repro.telemetry",
+)
+
+
+def collect_surface() -> dict:
+    surface = {}
+    for module_name in SURFACE_MODULES:
+        module = importlib.import_module(module_name)
+        names = sorted(getattr(module, "__all__", ()))
+        missing = [name for name in names if not hasattr(module, name)]
+        if missing:
+            raise AssertionError(f"{module_name}.__all__ names do not resolve: {missing}")
+        surface[module_name] = names
+    return surface
+
+
+def check_surface() -> int:
+    surface = collect_surface()
+    if not MANIFEST.exists():
+        print(f"API CHECK FAILED: manifest {MANIFEST} missing (run --update)", file=sys.stderr)
+        return 1
+    expected = json.loads(MANIFEST.read_text())
+    failures = []
+    for module_name in sorted(set(expected) | set(surface)):
+        have = surface.get(module_name)
+        want = expected.get(module_name)
+        if have == want:
+            continue
+        added = sorted(set(have or ()) - set(want or ()))
+        removed = sorted(set(want or ()) - set(have or ()))
+        failures.append(
+            f"  {module_name}: added {added or '[]'}, removed {removed or '[]'}"
+        )
+    if failures:
+        print(
+            "API CHECK FAILED: public surface drifted from scripts/api_surface.json\n"
+            + "\n".join(failures)
+            + "\n(intentional? rerun with --update and commit the manifest)",
+            file=sys.stderr,
+        )
+        return 1
+    total = sum(len(names) for names in surface.values())
+    print(f"api surface OK: {len(surface)} modules, {total} public names")
+    return 0
+
+
+def run_tier1_with_deprecation_gate() -> int:
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-x",
+        "-p",
+        "no:cacheprovider",
+        # pytest ini-style filters take regexes; pytest's -W would escape the
+        # module pattern, so the override spelling is load-bearing here.
+        "-o",
+        r"filterwarnings=error::DeprecationWarning:repro\..*",
+        "tests/",
+    ]
+    print("running tier-1 suite with internal DeprecationWarnings as errors ...")
+    completed = subprocess.run(command, cwd=REPO_ROOT)
+    if completed.returncode != 0:
+        print(
+            "API CHECK FAILED: tier-1 suite failed with DeprecationWarning "
+            "escalated for repro.* internals (an internal code path is "
+            "calling a deprecated shim)",
+            file=sys.stderr,
+        )
+    return completed.returncode
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--update", action="store_true", help="rewrite the surface manifest"
+    )
+    parser.add_argument(
+        "--no-tests",
+        action="store_true",
+        help="only check the surface manifest (skip the tier-1 run)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.update:
+        MANIFEST.write_text(json.dumps(collect_surface(), indent=2) + "\n")
+        print(f"wrote {MANIFEST}")
+        return 0
+
+    status = check_surface()
+    if status != 0:
+        return status
+    if args.no_tests:
+        return 0
+    return run_tier1_with_deprecation_gate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -173,6 +173,23 @@ def main(argv=None) -> int:
         if status != 200:
             return fail(f"/stats returned {status}")
 
+        # Options parity: a request with a nested CompileOptions wire object
+        # (top-down solver, pruning and match cache off) must produce the
+        # same kernel sequence as the default bottom-up pipeline.
+        status, body = http_json(
+            "POST",
+            f"{base}/compile",
+            {
+                "source": tagged_source("opt"),
+                "options": {"solver": "topdown", "prune": False, "match_cache": False},
+            },
+        )
+        if status != 200:
+            return fail(f"/compile with nested options returned {status}")
+        problem = check_response(body, "opt")
+        if problem:
+            return fail(f"nested-options request diverged: {problem}")
+
         cold_cache = stats_cold["caches"]["match_cache"]
         warm_cache = stats_warm["caches"]["match_cache"]
         hits = warm_cache["hits"] - cold_cache["hits"]

@@ -37,9 +37,12 @@ from .algebra import (
     normalize,
     parse_program,
 )
+from .codegen import available_emitters, register_emitter
 from .core import GMCAlgorithm, GMCSolution, MatrixChainDP, generate_program, solve_chain
 from .cost import CostMetric, FlopCount, PerformanceMetric
+from .frontend import CompilationResult, Compiler, compile_source
 from .kernels import Kernel, KernelCatalog, default_catalog
+from .options import CompileOptions
 
 __version__ = "1.0.0"
 
@@ -64,6 +67,12 @@ __all__ = [
     "MatrixChainDP",
     "solve_chain",
     "generate_program",
+    "CompileOptions",
+    "Compiler",
+    "CompilationResult",
+    "compile_source",
+    "register_emitter",
+    "available_emitters",
     "CostMetric",
     "FlopCount",
     "PerformanceMetric",

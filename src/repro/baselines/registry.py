@@ -18,6 +18,7 @@ from ..core.gmc import GMCAlgorithm
 from ..cost.metrics import CostMetric
 from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Program
+from ..options import CompileOptions
 from .strategy import EvaluationStrategy
 
 _TRIANGULAR = frozenset({Property.LOWER_TRIANGULAR, Property.UPPER_TRIANGULAR})
@@ -173,5 +174,7 @@ def build_gmc_program(
 ) -> Program:
     """Build the GMC program for a chain with the same call signature as the
     baselines, so the experiment harness can treat all strategies uniformly."""
-    algorithm = GMCAlgorithm(catalog=catalog, metric=metric)
+    algorithm = GMCAlgorithm(
+        CompileOptions(metric=metric if metric is not None else "flops", catalog=catalog)
+    )
     return algorithm.generate(chain, strategy_name="GMC")

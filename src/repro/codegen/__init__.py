@@ -4,14 +4,99 @@ Programs produced by the GMC algorithm (or by a baseline strategy) can be
 rendered either as Julia-flavoured BLAS/LAPACK call sequences -- the output
 format of the paper's reference implementation, cf. Table 2 -- or as
 executable Python/NumPy source.
+
+Back-ends live in a name-keyed **emitter registry**: the built-in ``julia``
+and ``numpy`` emitters are registered at import time, and third-party
+back-ends join the same registry via :func:`register_emitter`.  Every layer
+that emits code -- ``CompilationResult.emit``, the CLI's ``--emit`` flag,
+the service's ``emit`` option -- resolves targets through this registry, so
+a newly registered back-end is immediately usable from all of them.
 """
 
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from ..kernels.kernel import Program
 from .julia import generate_julia, julia_call_sequence
 from .python_numpy import generate_numpy, numpy_statement_sequence
 
 __all__ = [
+    "Emitter",
+    "register_emitter",
+    "get_emitter",
+    "available_emitters",
     "generate_julia",
     "julia_call_sequence",
     "generate_numpy",
     "numpy_statement_sequence",
 ]
+
+
+@dataclass(frozen=True)
+class Emitter:
+    """One registered code-generation back-end.
+
+    ``generate`` renders a :class:`~repro.kernels.kernel.Program` as source
+    text (signature ``generate(program, function_name=...)``);
+    ``function_name`` maps an assignment target to the emitted function's
+    name, so each back-end keeps its own naming convention (Julia emits
+    ``compute_X``, NumPy ``compute_x``).
+    """
+
+    name: str
+    generate: Callable[..., str]
+    function_name: Callable[[str], str]
+
+    def emit(self, program: Program, target: str = "result") -> str:
+        """Render *program* as a function named for assignment *target*."""
+        return self.generate(program, function_name=self.function_name(target))
+
+
+_EMITTERS: Dict[str, Emitter] = {}
+
+
+def register_emitter(
+    name: str,
+    generate: Callable[..., str],
+    function_name: Optional[Callable[[str], str]] = None,
+) -> Emitter:
+    """Register (or replace) a code emitter under *name*.
+
+    *generate* must accept ``(program, function_name=...)`` and return
+    source text; *function_name* maps an assignment target to the function
+    name (defaults to ``compute_<target>``).  Returns the registered
+    :class:`Emitter`, so third-party back-ends can do::
+
+        register_emitter("mylang", render_mylang)
+        result.emit("mylang")
+    """
+    if not name or not isinstance(name, str):
+        raise ValueError(f"emitter name must be a non-empty string, got {name!r}")
+    emitter = Emitter(
+        name=name,
+        generate=generate,
+        function_name=function_name or (lambda target: f"compute_{target}"),
+    )
+    _EMITTERS[name] = emitter
+    return emitter
+
+
+def get_emitter(name: str) -> Emitter:
+    """Look an emitter up by name; ``KeyError`` names the available ones."""
+    try:
+        return _EMITTERS[name]
+    except KeyError:
+        raise KeyError(
+            f"no emitter {name!r}; registered emitters: {available_emitters()}"
+        ) from None
+
+
+def available_emitters() -> Tuple[str, ...]:
+    """The registered emitter names, in registration order."""
+    return tuple(_EMITTERS)
+
+
+register_emitter("julia", generate_julia, lambda target: f"compute_{target}")
+register_emitter("numpy", generate_numpy, lambda target: f"compute_{target.lower()}")

@@ -19,6 +19,7 @@ from ..algebra.expression import Expression
 from ..cost.metrics import CostMetric
 from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Program
+from ..options import CompileOptions
 from .gmc import GMCAlgorithm, GMCSolution, UncomputableChainError
 from .topdown import TopDownGMC, TopDownSolution
 from .mcp import (
@@ -34,22 +35,49 @@ from .mcp import (
 )
 
 
+def make_solver(options: Optional[CompileOptions] = None):
+    """Build the solver named by ``options.solver`` (the single place the
+    solver-name -> class mapping lives; every entry point routes through it).
+    """
+    options = options if options is not None else CompileOptions()
+    solver_cls = TopDownGMC if options.solver == "topdown" else GMCAlgorithm
+    return solver_cls(options)
+
+
+def _convenience_options(
+    metric: Union[CostMetric, str, None],
+    catalog: Optional[KernelCatalog],
+    options: Optional[CompileOptions],
+) -> CompileOptions:
+    if options is not None:
+        if metric is not None or catalog is not None:
+            raise TypeError("pass either options or metric=/catalog=, not both")
+        return options
+    return CompileOptions(
+        metric="flops" if metric is None else metric, catalog=catalog
+    )
+
+
 def solve_chain(
     chain: Expression,
     metric: Union[CostMetric, str, None] = None,
     catalog: Optional[KernelCatalog] = None,
+    *,
+    options: Optional[CompileOptions] = None,
 ) -> GMCSolution:
     """Solve a generalized matrix chain and return the full solution object."""
-    return GMCAlgorithm(catalog=catalog, metric=metric).solve(chain)
+    return make_solver(_convenience_options(metric, catalog, options)).solve(chain)
 
 
 def generate_program(
     chain: Expression,
     metric: Union[CostMetric, str, None] = None,
     catalog: Optional[KernelCatalog] = None,
+    *,
+    options: Optional[CompileOptions] = None,
 ) -> Program:
     """Solve a generalized matrix chain and return the optimal kernel program."""
-    return GMCAlgorithm(catalog=catalog, metric=metric).generate(chain)
+    return make_solver(_convenience_options(metric, catalog, options)).generate(chain)
 
 
 __all__ = [
@@ -58,6 +86,7 @@ __all__ = [
     "TopDownGMC",
     "TopDownSolution",
     "UncomputableChainError",
+    "make_solver",
     "MatrixChainDP",
     "matrix_chain_order",
     "memoized_matrix_chain",

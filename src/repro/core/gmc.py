@@ -55,10 +55,59 @@ from ..algebra.inference import infer_properties
 from ..algebra.interning import intern
 from ..algebra.operators import Times
 from ..algebra.simplify import as_chain, unary_decomposition
-from ..cost.metrics import CostMetric, resolve_metric
-from ..kernels.catalog import KernelCatalog, default_catalog
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Kernel, KernelCall, Program
 from ..matching.patterns import Substitution
+from ..options import CompileOptions, warn_legacy
+
+#: Sentinel distinguishing "argument not passed" from explicit ``None``.
+_UNSET = object()
+
+
+def coerce_solver_options(
+    cls_name: str,
+    options,
+    metric,
+    prune,
+    catalog,
+) -> CompileOptions:
+    """Shared constructor shim of the solver classes.
+
+    The canonical call-shape is ``Solver(CompileOptions(...))`` (or the bare
+    ``Solver()``); the pre-options loose keywords ``catalog=/metric=/prune=``
+    (and a positional catalog) still work through this shim but raise one
+    :class:`DeprecationWarning` per construction.
+    """
+    if isinstance(options, KernelCatalog):  # legacy positional catalog
+        catalog, options = options, None
+    legacy = {
+        name: value
+        for name, value in (("catalog", catalog), ("metric", metric), ("prune", prune))
+        if value is not _UNSET
+    }
+    if options is not None and legacy:
+        raise TypeError(
+            f"{cls_name}() takes either a CompileOptions object or the legacy "
+            f"catalog=/metric=/prune= keywords, not both"
+        )
+    if legacy:
+        warn_legacy(
+            f"{cls_name}(catalog=..., metric=..., prune=...)",
+            f"{cls_name}(CompileOptions(...))",
+            stacklevel=4,
+        )
+        metric_value = legacy.get("metric")
+        return CompileOptions(
+            metric="flops" if metric_value is None else metric_value,
+            catalog=legacy.get("catalog"),
+            prune=True if legacy.get("prune") is None else legacy.get("prune", True),
+        )
+    if options is None:
+        return CompileOptions()
+    if not isinstance(options, CompileOptions):
+        raise TypeError(f"expected CompileOptions, got {options!r}")
+    return options
 
 
 class UncomputableChainError(RuntimeError):
@@ -214,20 +263,19 @@ ChainLike = Union[Expression, Sequence[Expression]]
 class GMCAlgorithm:
     """The Generalized Matrix Chain algorithm (paper Fig. 4).
 
-    Parameters
-    ----------
-    catalog:
-        The kernel catalog ``K``; defaults to the full BLAS/LAPACK-style
-        catalog of :func:`repro.kernels.default_catalog`.
-    metric:
-        The cost metric to minimize; a :class:`CostMetric`, a metric name
-        (``"flops"``, ``"time"``, ...) or ``None`` for FLOPs.
-    prune:
-        Skip splits whose lower-bounded accumulated cost
-        (:meth:`CostMetric.lower_bound`) already meets or exceeds the cell's
-        best-so-far, avoiding their kernel matching entirely.  The optimum
-        is unaffected (the bound is sound for every metric that reports
-        one); disable to time or differentially test the exhaustive loop.
+    The constructor takes one :class:`~repro.options.CompileOptions` value
+    naming the catalog, metric, pruning and match-cache policy (and the
+    deadline-budget placeholder); ``GMCAlgorithm()`` uses the defaults.  The
+    pre-options loose keywords ``catalog=/metric=/prune=`` still work but
+    are deprecated.
+
+    ``options.prune`` skips splits whose lower-bounded accumulated cost
+    (:meth:`CostMetric.lower_bound`) already meets or exceeds the cell's
+    best-so-far, avoiding their kernel matching entirely.  The optimum is
+    unaffected (the bound is sound for every metric that reports one);
+    disable it to time or differentially test the exhaustive loop.
+    ``options.match_cache`` controls whether ``catalog.match`` is served
+    through the signature-keyed match cache.
 
     Example
     -------
@@ -242,13 +290,20 @@ class GMCAlgorithm:
 
     def __init__(
         self,
-        catalog: Optional[KernelCatalog] = None,
-        metric: Union[CostMetric, str, None] = None,
-        prune: bool = True,
+        options: Optional[CompileOptions] = None,
+        metric=_UNSET,
+        prune=_UNSET,
+        *,
+        catalog=_UNSET,
     ) -> None:
-        self.catalog = catalog if catalog is not None else default_catalog()
-        self.metric = resolve_metric(metric)
-        self.prune = prune
+        self.options = coerce_solver_options(
+            type(self).__name__, options, metric, prune, catalog
+        )
+        self.catalog: KernelCatalog = self.options.resolve_catalog()
+        self.metric: CostMetric = self.options.resolve_metric()
+        self.prune: bool = self.options.prune
+        self.use_match_cache: bool = self.options.match_cache
+        self.deadline_s = self.options.deadline_s
 
     # ------------------------------------------------------------------ API
     def solve(self, chain: ChainLike) -> GMCSolution:
@@ -371,7 +426,9 @@ class GMCAlgorithm:
         """
         best: Optional[Tuple[Kernel, Substitution, object]] = None
         best_key: Optional[Tuple] = None
-        for kernel, substitution in self.catalog.match(expr):
+        for kernel, substitution in self.catalog.match(
+            expr, use_cache=self.use_match_cache
+        ):
             kernel_cost = self.metric.kernel_cost_cached(kernel, substitution)
             key = (kernel_cost, -len(kernel.pattern.constraints), kernel.id)
             if best_key is None or key < best_key:

@@ -25,11 +25,12 @@ from ..algebra.expression import Expression, Matrix, Temporary
 from ..algebra.inference import infer_properties
 from ..algebra.interning import intern
 from ..algebra.operators import Times
-from ..cost.metrics import CostMetric, resolve_metric
-from ..kernels.catalog import KernelCatalog, default_catalog
+from ..cost.metrics import CostMetric
+from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Kernel, KernelCall, Program
 from ..matching.patterns import Substitution
-from .gmc import ChainLike, UncomputableChainError, _coerce_chain
+from ..options import CompileOptions
+from .gmc import _UNSET, ChainLike, UncomputableChainError, _coerce_chain, coerce_solver_options
 
 
 @dataclass
@@ -141,18 +142,28 @@ class TopDownGMC:
     """Top-down memoized formulation of the GMC algorithm.
 
     Produces the same optimal solutions as :class:`GMCAlgorithm`; see the
-    module docstring for when the traversal order matters.
+    module docstring for when the traversal order matters.  Configured by
+    one :class:`~repro.options.CompileOptions` value exactly like
+    :class:`GMCAlgorithm` (the loose ``catalog=/metric=/prune=`` keywords
+    remain as a deprecated shim).
     """
 
     def __init__(
         self,
-        catalog: Optional[KernelCatalog] = None,
-        metric: Union[CostMetric, str, None] = None,
-        prune: bool = True,
+        options: Optional[CompileOptions] = None,
+        metric=_UNSET,
+        prune=_UNSET,
+        *,
+        catalog=_UNSET,
     ) -> None:
-        self.catalog = catalog if catalog is not None else default_catalog()
-        self.metric = resolve_metric(metric)
-        self.prune = prune
+        self.options = coerce_solver_options(
+            type(self).__name__, options, metric, prune, catalog
+        )
+        self.catalog: KernelCatalog = self.options.resolve_catalog()
+        self.metric: CostMetric = self.options.resolve_metric()
+        self.prune: bool = self.options.prune
+        self.use_match_cache: bool = self.options.match_cache
+        self.deadline_s = self.options.deadline_s
 
     def solve(self, chain: ChainLike) -> TopDownSolution:
         factors, expression = _coerce_chain(chain)
@@ -243,7 +254,9 @@ class TopDownGMC:
     ) -> Optional[Tuple[Kernel, Substitution, object]]:
         best: Optional[Tuple[Kernel, Substitution, object]] = None
         best_key: Optional[Tuple] = None
-        for kernel, substitution in self.catalog.match(expr):
+        for kernel, substitution in self.catalog.match(
+            expr, use_cache=self.use_match_cache
+        ):
             kernel_cost = self.metric.kernel_cost_cached(kernel, substitution)
             key = (kernel_cost, -len(kernel.pattern.constraints), kernel.id)
             if best_key is None or key < best_key:

@@ -24,6 +24,7 @@ from ..baselines.registry import BASELINE_STRATEGIES, build_gmc_program
 from ..baselines.strategy import EvaluationStrategy, StrategyError
 from ..core.gmc import GMCAlgorithm
 from ..cost.metrics import CostMetric, FlopCount, PerformanceMetric
+from ..options import CompileOptions
 from ..kernels.catalog import KernelCatalog, default_catalog
 from ..kernels.kernel import Program
 from ..runtime.executor import Executor
@@ -216,7 +217,12 @@ def run_problem(
         environment = instantiate_expression(problem.expression, seed=config.seed)
 
     start = time.perf_counter()
-    gmc_solution = GMCAlgorithm(catalog=catalog, metric=config.metric).solve(problem.expression)
+    gmc_solution = GMCAlgorithm(
+        CompileOptions(
+            metric=config.metric if config.metric is not None else "flops",
+            catalog=catalog,
+        )
+    ).solve(problem.expression)
     generation_time = time.perf_counter() - start
 
     problem_result = ProblemResult(problem=problem, generation_time=generation_time)

@@ -25,6 +25,7 @@ from ..core.gmc import GMCAlgorithm
 from ..core.mcp import MatrixChainDP, parenthesization_cost
 from ..cost.metrics import PerformanceMetric
 from ..kernels.catalog import default_catalog
+from ..options import CompileOptions
 from .reporting import format_table
 
 
@@ -61,7 +62,7 @@ def section32_property_example(n: int = 20, m: int = 15) -> WorkedExample:
     # What the GMC algorithm actually chooses, with and without properties.
     gmc_with_properties = GMCAlgorithm().solve(expression)
     gmc_without_properties = GMCAlgorithm(
-        catalog=default_catalog(include_specialized=False)
+        CompileOptions(catalog=default_catalog(include_specialized=False))
     ).solve(expression)
 
     data: Dict[str, object] = {
@@ -116,8 +117,8 @@ def section33_cost_function_example() -> WorkedExample:
 
     matrices = [Matrix(f"M{i}", sizes[i], sizes[i + 1]) for i in range(5)]
     expression = Times(*matrices)
-    gmc_flops_solution = GMCAlgorithm(metric="flops").solve(expression)
-    gmc_time_solution = GMCAlgorithm(metric="time").solve(expression)
+    gmc_flops_solution = GMCAlgorithm(CompileOptions(metric="flops")).solve(expression)
+    gmc_time_solution = GMCAlgorithm(CompileOptions(metric="time")).solve(expression)
     model = PerformanceMetric()
 
     data: Dict[str, object] = {
@@ -162,7 +163,7 @@ def completeness_example() -> WorkedExample:
     b = Matrix("B", n, n)
     c = Matrix("C", n, 30)
     catalog = default_catalog(include_combined_inverse=False)
-    gmc = GMCAlgorithm(catalog=catalog)
+    gmc = GMCAlgorithm(CompileOptions(catalog=catalog))
 
     three = gmc.solve(Times(a.I, b.I, c))
     two = gmc.solve(Times(a.I, b.I))

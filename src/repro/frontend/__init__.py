@@ -1,14 +1,18 @@
 """End-to-end compiler front-end (the Linnea-style pipeline of the paper)."""
 
+from ..options import CompileOptions
 from .compiler import (
     CompilationResult,
     CompiledAssignment,
+    Compiler,
     compile_program,
     compile_source,
     main,
 )
 
 __all__ = [
+    "CompileOptions",
+    "Compiler",
     "CompilationResult",
     "CompiledAssignment",
     "compile_program",

@@ -6,11 +6,20 @@ Linnea compiler: the user supplies operand definitions and assignments
 the pieces of this repository into that end-to-end pipeline:
 
     source text --(repro.algebra.dsl)--> expressions
-                --(repro.core.gmc)-----> kernel programs
-                --(repro.codegen)------> Julia-style / NumPy code
+                --(repro.core)---------> kernel programs
+                --(repro.codegen)------> registered emitters (Julia, NumPy)
 
-Use :func:`compile_source` programmatically or ``python -m repro.frontend``
-from the command line.
+The front door is a :class:`Compiler` **session**: it is configured by one
+frozen :class:`~repro.options.CompileOptions` value and owns the catalog,
+the per-metric cost-cache instances and the cache telemetry, so repeated
+compilations share every warm cache.  The same session class backs the
+command line (``python -m repro.frontend``), the HTTP service
+(:mod:`repro.service`) and the benchmark scripts, which is what guarantees
+identical kernel sequences across all entry points.
+
+:func:`compile_source` / :func:`compile_program` remain as conveniences
+that run one compilation on a throwaway session; their pre-options
+``metric=``/``catalog=`` keywords are deprecated in favour of ``options=``.
 """
 
 from __future__ import annotations
@@ -23,12 +32,14 @@ from typing import Dict, List, Optional, Sequence, Union
 from ..algebra.dsl import Program as ParsedProgram
 from ..algebra.dsl import parse_program
 from ..algebra.expression import Expression, Matrix
-from ..codegen.julia import generate_julia
-from ..codegen.python_numpy import generate_numpy
-from ..core.gmc import GMCAlgorithm, GMCSolution
-from ..cost.metrics import CostMetric
+from ..codegen import available_emitters, get_emitter
+from ..core import make_solver
+from ..cost.metrics import CostMetric, resolve_metric
 from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Program
+from ..options import CompileOptions, warn_legacy
+from ..telemetry import reset as _telemetry_reset
+from ..telemetry import snapshot as _telemetry_snapshot
 
 
 @dataclass
@@ -37,7 +48,7 @@ class CompiledAssignment:
 
     target: str
     expression: Expression
-    solution: GMCSolution
+    solution: object  # GMCSolution or TopDownSolution
     program: Program
 
     @property
@@ -48,13 +59,18 @@ class CompiledAssignment:
     def flops(self) -> float:
         return self.program.total_flops
 
+    def emit(self, target_language: str) -> str:
+        """Source for this assignment in any registered emitter's language."""
+        emitter = get_emitter(target_language)
+        return emitter.emit(self.program, self.target)
+
     def julia(self) -> str:
-        """Julia-flavoured source for this assignment."""
-        return generate_julia(self.program, function_name=f"compute_{self.target}")
+        """Julia-flavoured source for this assignment (``emit("julia")``)."""
+        return self.emit("julia")
 
     def numpy(self) -> str:
-        """NumPy source for this assignment."""
-        return generate_numpy(self.program, function_name=f"compute_{self.target.lower()}")
+        """NumPy source for this assignment (``emit("numpy")``)."""
+        return self.emit("numpy")
 
     def summary(self) -> str:
         return (
@@ -62,16 +78,45 @@ class CompiledAssignment:
             f"  parenthesization: {self.solution.parenthesization()}\n"
             f"  kernels:          {' -> '.join(self.kernel_sequence)}\n"
             f"  FLOPs:            {self.flops:.4g}\n"
-            f"  generation time:  {self.solution.generation_time * 1e3:.2f} ms"
+            f"  generation time:  {getattr(self.solution, 'generation_time', 0.0) * 1e3:.2f} ms"
         )
 
 
 @dataclass
 class CompilationResult:
-    """The compilation result for a whole program (several assignments)."""
+    """The compilation result for a whole program (several assignments).
+
+    Assignments are kept both in submission order (iteration) and in an
+    insertion-ordered target index (:meth:`assignment` is O(1)).  Mutate
+    through :meth:`add`; appending to ``assignments`` directly (the legacy
+    construction pattern) is also supported.  Other list mutations
+    (replacing or removing entries in place) are not -- the index may keep
+    serving the object it was built from.
+    """
 
     operands: Dict[str, Matrix]
     assignments: List[CompiledAssignment] = field(default_factory=list)
+    options: Optional[CompileOptions] = None
+
+    def __post_init__(self) -> None:
+        self._index: Dict[str, CompiledAssignment] = {}
+        self._indexed_count = 0
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """Fold not-yet-indexed assignments into the target index.
+
+        ``setdefault`` keeps the pre-index semantics of the linear scan:
+        for duplicate targets the *first* assignment wins.  The cursor makes
+        indexing incremental, so external appends to ``assignments`` (the
+        legacy construction pattern) cost O(new entries), not a rebuild.
+        """
+        if self._indexed_count > len(self.assignments):  # list was mutated
+            self._index = {}
+            self._indexed_count = 0
+        for compiled in self.assignments[self._indexed_count:]:
+            self._index.setdefault(compiled.target, compiled)
+        self._indexed_count = len(self.assignments)
 
     def __iter__(self):
         return iter(self.assignments)
@@ -79,23 +124,51 @@ class CompilationResult:
     def __len__(self) -> int:
         return len(self.assignments)
 
+    def add(self, compiled: CompiledAssignment) -> None:
+        """Record one compiled assignment (keeps the target index in sync)."""
+        self.assignments.append(compiled)
+        self._reindex()
+
     def assignment(self, target: str) -> CompiledAssignment:
-        for compiled in self.assignments:
-            if compiled.target == target:
-                return compiled
-        raise KeyError(target)
+        """The compiled assignment for *target* (O(1) dict lookup).
+
+        Appending to ``assignments`` is the supported external mutation; a
+        lookup miss additionally forces one full re-index, so a target that
+        is present in the list is always found (even after pop-then-append
+        mutations).  In-place *replacement* under an already-indexed target
+        is unsupported (see the class docstring).
+        """
+        if self._indexed_count != len(self.assignments):
+            self._reindex()
+        if target not in self._index:
+            self._index = {}
+            self._indexed_count = 0
+            self._reindex()
+        try:
+            return self._index[target]
+        except KeyError:
+            available = ", ".join(repr(name) for name in self._index) or "<none>"
+            raise KeyError(
+                f"no assignment {target!r}; available targets: {available}"
+            ) from None
 
     @property
     def total_flops(self) -> float:
         return sum(compiled.flops for compiled in self.assignments)
 
+    def emit(self, target_language: str) -> str:
+        """Source for the whole program via any registered emitter."""
+        return "\n\n".join(
+            compiled.emit(target_language) for compiled in self.assignments
+        )
+
     def julia(self) -> str:
-        """Julia-flavoured source for the whole program."""
-        return "\n\n".join(compiled.julia() for compiled in self.assignments)
+        """Julia-flavoured source for the whole program (``emit("julia")``)."""
+        return self.emit("julia")
 
     def numpy(self) -> str:
-        """NumPy source for the whole program."""
-        return "\n\n".join(compiled.numpy() for compiled in self.assignments)
+        """NumPy source for the whole program (``emit("numpy")``)."""
+        return self.emit("numpy")
 
     def report(self) -> str:
         lines = ["compiled program:"]
@@ -110,32 +183,223 @@ class CompilationResult:
         return "\n".join(lines)
 
 
+#: Inputs :meth:`Compiler.compile` accepts.
+CompileInput = Union[str, ParsedProgram, Expression]
+
+#: Bound on the live metric instances one session keeps (metric names are
+#: few; the custom-cost_cache_size variants are the client-controlled part).
+_MAX_METRIC_INSTANCES = 16
+
+
+class Compiler:
+    """A compilation session: one options value, warm caches, telemetry.
+
+    The session owns the kernel catalog and one live
+    :class:`~repro.cost.metrics.CostMetric` instance per metric name, so
+    every compilation through it shares the interner, the inference memo,
+    the signature-keyed match cache and the kernel-cost LRU -- exactly the
+    state a warm service worker keeps between requests.
+
+    Per-call options may override the session options (same catalog, fresh
+    pipeline flags), which is how the service serves requests with differing
+    solver/metric/prune settings from one warm session.
+
+    Example
+    -------
+    >>> compiler = Compiler(CompileOptions(solver="topdown"))
+    >>> result = compiler.compile('''
+    ... Matrix A (100, 100) <SPD>
+    ... Matrix B (100, 40) <>
+    ... X := A^-1 * B
+    ... ''')
+    >>> result.assignment("X").kernel_sequence
+    ['POSV']
+    """
+
+    def __init__(self, options: Optional[CompileOptions] = None, **overrides) -> None:
+        base = options if options is not None else CompileOptions()
+        if overrides:
+            base = base.replace(**overrides)
+        self.options: CompileOptions = base
+        self.catalog: KernelCatalog = base.resolve_catalog()
+        #: Live metric instances keyed by metric name; reusing one instance
+        #: across compilations is what keeps its kernel-cost LRU warm.
+        self._metrics: Dict[str, CostMetric] = {}
+
+    # ----------------------------------------------------------- resolution
+    def _effective_options(
+        self, options: Optional[CompileOptions], overrides: dict
+    ) -> CompileOptions:
+        """Merge per-call options into the session configuration.
+
+        A session is a warm-cache scope bound to one catalog, so a per-call
+        request for a *different* catalog is an error (silently swapping
+        catalogs would cross cache domains and give wrong-catalog answers);
+        build a new :class:`Compiler` for a different catalog.  The metric
+        is swapped for the session's live instance so its kernel-cost LRU
+        stays warm across calls.
+        """
+        effective = options if options is not None else self.options
+        if overrides:
+            effective = effective.replace(**overrides)
+        if effective.catalog is not None and effective.catalog is not self.catalog:
+            raise ValueError(
+                "this Compiler session is bound to catalog "
+                f"{self.catalog!r}; build a new Compiler(CompileOptions("
+                "catalog=...)) to compile against a different catalog"
+            )
+        return effective.replace(
+            catalog=self.catalog, metric=self.metric_for(effective)
+        )
+
+    def metric_for(self, options: Optional[CompileOptions] = None) -> CostMetric:
+        """The session's live metric instance for *options* (default: own).
+
+        Instances are cached per ``(name, cost_cache_size)``: a request with
+        a custom cache size warms its own instance instead of resizing (and
+        thereby cold-starting) the LRU every default request shares.  Live
+        metric instances in the options are caller-owned and returned as-is.
+        """
+        options = options if options is not None else self.options
+        if isinstance(options.metric, CostMetric):
+            return options.metric
+        # Default-sized metrics are keyed by plain name (also the key scheme
+        # of the pre-session ``metrics=`` dicts execute_request still
+        # accepts); custom-sized ones get their own (name, size) slot.
+        key = (
+            options.metric
+            if options.cost_cache_size is None
+            else (options.metric, options.cost_cache_size)
+        )
+        metric = self._metrics.get(key)
+        if metric is None:
+            if len(self._metrics) >= _MAX_METRIC_INSTANCES:
+                # cost_cache_size is client-controlled on the service wire;
+                # without a bound, cycling sizes would grow a worker's
+                # metric cache forever.  Evict a custom-sized instance
+                # first so the plain-name defaults stay warm.
+                sized = [k for k in self._metrics if isinstance(k, tuple)]
+                del self._metrics[sized[0] if sized else next(iter(self._metrics))]
+            metric = self._metrics[key] = resolve_metric(options.metric)
+            if options.cost_cache_size is not None:
+                metric.cost_cache_size = options.cost_cache_size
+        return metric
+
+    def solver(self, options: Optional[CompileOptions] = None, **overrides):
+        """A solver (bottom-up or top-down per ``options.solver``) bound to
+        the session's catalog and live metric instance."""
+        return make_solver(self._effective_options(options, overrides))
+
+    # ------------------------------------------------------------------ API
+    def compile(
+        self,
+        problem: CompileInput,
+        options: Optional[CompileOptions] = None,
+        **overrides,
+    ) -> CompilationResult:
+        """Compile DSL text, a parsed program or a bare expression.
+
+        Strings are parsed with the Fig. 1/2 grammar; expressions become a
+        single anonymous assignment (target ``X``).  Returns a
+        :class:`CompilationResult` carrying the effective options.
+        """
+        effective = self._effective_options(options, overrides)
+        program = self._coerce_program(problem)
+        solver = make_solver(effective)
+        result = CompilationResult(
+            operands=dict(program.operands), options=effective
+        )
+        for target, expression in program.assignments:
+            solution = solver.solve(expression)
+            kernel_program = solution.program(strategy_name=f"GMC[{target}]")
+            result.add(
+                CompiledAssignment(
+                    target=target,
+                    expression=expression,
+                    solution=solution,
+                    program=kernel_program,
+                )
+            )
+        return result
+
+    def solve(
+        self,
+        chain,
+        options: Optional[CompileOptions] = None,
+        **overrides,
+    ):
+        """Solve one chain through the session (returns the solution object)."""
+        return self.solver(options, **overrides).solve(chain)
+
+    @staticmethod
+    def _coerce_program(problem: CompileInput) -> ParsedProgram:
+        if isinstance(problem, ParsedProgram):
+            return problem
+        if isinstance(problem, str):
+            return parse_program(problem)
+        if isinstance(problem, Expression):
+            operands = {}
+            for leaf in problem.leaves():
+                if isinstance(leaf, Matrix):
+                    operands.setdefault(leaf.name, leaf)
+            return ParsedProgram(operands=operands, assignments=[("X", problem)])
+        raise TypeError(
+            f"cannot compile {problem!r}; expected DSL text, a parsed Program "
+            f"or an Expression"
+        )
+
+    # ------------------------------------------------------------ telemetry
+    def cache_stats(self) -> Dict[str, dict]:
+        """Per-layer cache counters of this session (uniform stats protocol:
+        match cache, interner, inference memo, kernel-cost LRUs)."""
+        return _telemetry_snapshot(self.catalog, self._metrics)
+
+    def reset_cache_stats(self) -> None:
+        """Zero every cache counter the session can see."""
+        _telemetry_reset(self.catalog, self._metrics)
+
+
+# ---------------------------------------------------------------------------
+# Convenience functions (one-shot sessions).
+# ---------------------------------------------------------------------------
+
+def _convenience_options(
+    metric, catalog, options: Optional[CompileOptions], caller: str
+) -> Optional[CompileOptions]:
+    """Shared shim of :func:`compile_source`/:func:`compile_program`: map the
+    deprecated ``metric=``/``catalog=`` keywords onto an options value."""
+    if metric is None and catalog is None:
+        return options
+    if options is not None:
+        raise TypeError(f"{caller}() takes either options or metric=/catalog=, not both")
+    warn_legacy(
+        f"{caller}(metric=..., catalog=...)",
+        f"{caller}(..., options=CompileOptions(...))",
+        stacklevel=4,
+    )
+    return CompileOptions(
+        metric="flops" if metric is None else metric, catalog=catalog
+    )
+
+
 def compile_program(
     program: ParsedProgram,
     metric: Union[CostMetric, str, None] = None,
     catalog: Optional[KernelCatalog] = None,
+    *,
+    options: Optional[CompileOptions] = None,
 ) -> CompilationResult:
-    """Compile an already-parsed DSL program."""
-    gmc = GMCAlgorithm(catalog=catalog, metric=metric)
-    result = CompilationResult(operands=dict(program.operands))
-    for target, expression in program.assignments:
-        solution = gmc.solve(expression)
-        kernel_program = solution.program(strategy_name=f"GMC[{target}]")
-        result.assignments.append(
-            CompiledAssignment(
-                target=target,
-                expression=expression,
-                solution=solution,
-                program=kernel_program,
-            )
-        )
-    return result
+    """Compile an already-parsed DSL program on a one-shot session."""
+    options = _convenience_options(metric, catalog, options, "compile_program")
+    return Compiler(options).compile(program)
 
 
 def compile_source(
     source: str,
     metric: Union[CostMetric, str, None] = None,
     catalog: Optional[KernelCatalog] = None,
+    *,
+    options: Optional[CompileOptions] = None,
 ) -> CompilationResult:
     """Compile a textual problem description (Figs. 1/2 grammar) end to end.
 
@@ -147,7 +411,22 @@ def compile_source(
     >>> result.assignment("X").kernel_sequence
     ['POSV']
     """
-    return compile_program(parse_program(source), metric=metric, catalog=catalog)
+    options = _convenience_options(metric, catalog, options, "compile_source")
+    return Compiler(options).compile(source)
+
+
+# ---------------------------------------------------------------------------
+# Command line.
+# ---------------------------------------------------------------------------
+
+def build_options(args: argparse.Namespace) -> CompileOptions:
+    """The one place CLI flags become a :class:`CompileOptions` value."""
+    return CompileOptions(
+        solver=args.solver,
+        metric=args.metric,
+        prune=not args.no_prune,
+        match_cache=not args.no_match_cache,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -168,9 +447,25 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="cost metric to minimize (default: flops)",
     )
     parser.add_argument(
+        "--solver",
+        default="gmc",
+        choices=["gmc", "topdown"],
+        help="DP solver: bottom-up gmc or memoized topdown (default: gmc)",
+    )
+    parser.add_argument(
+        "--no-prune",
+        action="store_true",
+        help="disable DP split pruning (exhaustive reference loop)",
+    )
+    parser.add_argument(
+        "--no-match-cache",
+        action="store_true",
+        help="bypass the signature-keyed kernel-match cache",
+    )
+    parser.add_argument(
         "--emit",
         default="report",
-        choices=["report", "julia", "numpy"],
+        choices=["report", *available_emitters()],
         help="what to print: a human-readable report or generated code",
     )
     serve_group = parser.add_argument_group(
@@ -203,6 +498,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.serve:
+        # Pipeline flags configure ONE compilation; service requests each
+        # carry their own complete CompileOptions on the wire, so server-wide
+        # pipeline flags would be silently overridden by every request.
+        # Reject them loudly rather than pretend they apply.
+        ignored = []
+        if args.solver != "gmc":
+            ignored.append("--solver")
+        if args.metric != "flops":
+            ignored.append("--metric")
+        if args.no_prune:
+            ignored.append("--no-prune")
+        if args.no_match_cache:
+            ignored.append("--no-match-cache")
+        if args.emit != "report":
+            ignored.append("--emit")
+        if ignored:
+            parser.error(
+                f"{', '.join(ignored)} cannot be combined with --serve: "
+                f"service requests carry their own options "
+                f"(the 'options' object of POST /compile)"
+            )
         from ..service.http import run_server
         from ..service.pool import create_executor
 
@@ -213,11 +529,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text = handle.read()
     else:
         text = sys.stdin.read()
-    result = compile_source(text, metric=args.metric)
-    if args.emit == "julia":
-        print(result.julia())
-    elif args.emit == "numpy":
-        print(result.numpy())
-    else:
+    result = Compiler(build_options(args)).compile(text)
+    if args.emit == "report":
         print(result.report())
+    else:
+        print(result.emit(args.emit))
     return 0

@@ -83,7 +83,9 @@ class KernelCatalog:
         """The signature-keyed cache serving :meth:`match` (for stats/reset)."""
         return self._match_cache
 
-    def match(self, expr: Expression) -> List[Tuple[Kernel, Substitution]]:
+    def match(
+        self, expr: Expression, use_cache: bool = True
+    ) -> List[Tuple[Kernel, Substitution]]:
         """Return every ``(kernel, substitution)`` pair whose pattern (and
         constraints) match *expr*.
 
@@ -91,8 +93,12 @@ class KernelCatalog:
         shape/property signature was seen before reuse the kernel list and a
         re-bound substitution without walking the discrimination net (see
         :mod:`repro.matching.match_cache`, including the invalidation rules).
+        ``use_cache=False`` bypasses the cache for this call -- the explicit,
+        per-solver spelling of ``CompileOptions(match_cache=False)`` (the
+        process-global ``match_caching_disabled()`` toggle also still
+        applies, so the legacy context manager keeps working).
         """
-        if _match_cache._ENABLED:
+        if use_cache and _match_cache._ENABLED:
             return self._match_cache.match(expr)
         results: List[Tuple[Kernel, Substitution]] = []
         for _, substitution, payload in self._net.match(expr):

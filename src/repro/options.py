@@ -1,0 +1,239 @@
+"""Unified compilation options: the single configuration surface.
+
+Every front door of the compiler -- the Python API
+(:class:`repro.frontend.Compiler`), the command line
+(``python -m repro.frontend``), the HTTP service (:mod:`repro.service`) and
+the benchmark/experiment scripts -- configures the pipeline through one
+frozen :class:`CompileOptions` value instead of loose keyword arguments and
+process-global toggles.  The options object names:
+
+* the **solver** (``"gmc"`` bottom-up or ``"topdown"`` memoized),
+* the **cost metric** (a name understood by
+  :func:`repro.cost.metrics.resolve_metric`, or a live
+  :class:`~repro.cost.metrics.CostMetric` instance),
+* the **kernel catalog** (``None`` selects the shared default catalog),
+* the DP **split pruning** and the signature-keyed **match cache** toggles,
+* the **emit** targets (names registered with
+  :func:`repro.codegen.register_emitter`),
+* a per-request **deadline budget** placeholder (``deadline_s``; validated
+  and threaded through, enforcement is a ROADMAP item), and
+* the kernel-cost **cache sizing** (``cost_cache_size``).
+
+Options are validated eagerly at construction, are immutable (derive
+variants with :meth:`CompileOptions.replace`) and serialize losslessly to
+the JSON wire format of the compilation service
+(:meth:`CompileOptions.to_wire` / :meth:`CompileOptions.from_wire`).
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, field, replace as _dataclass_replace
+from typing import Any, Dict, Mapping, Optional, Tuple, Union
+
+from .cost.metrics import CostMetric, resolve_metric
+
+__all__ = ["SOLVERS", "CompileOptions", "warn_legacy", "warn_legacy_wire"]
+
+#: Solver names a :class:`CompileOptions` may select.
+SOLVERS = ("gmc", "topdown")
+
+#: Upper bound on :attr:`CompileOptions.cost_cache_size`.  The field is
+#: client-controlled on the service wire; an unbounded value would let a
+#: remote client effectively disable kernel-cost LRU eviction in a
+#: long-lived worker (10x the metric default is plenty for tuning).
+MAX_COST_CACHE_SIZE = 1_000_000
+
+#: Keys of the JSON wire form of :class:`CompileOptions`.
+_WIRE_KEYS = (
+    "solver",
+    "metric",
+    "emit",
+    "prune",
+    "match_cache",
+    "deadline_s",
+    "cost_cache_size",
+)
+
+
+def warn_legacy(old: str, new: str, stacklevel: int = 3) -> None:
+    """Emit the one :class:`DeprecationWarning` of a legacy call-shape shim.
+
+    *stacklevel* defaults to 3 so the warning is attributed to the caller of
+    the shim, never to the shim itself: ``scripts/ci_api_check.py`` runs the
+    test suite with deprecation warnings escalated to errors for ``repro.*``
+    modules, which keeps the library from calling its own deprecated paths
+    while external callers merely see a warning.
+    """
+    warnings.warn(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+
+
+def warn_legacy_wire(old: str, new: str) -> None:
+    """Like :func:`warn_legacy`, for deprecated *wire payloads*.
+
+    A legacy JSON dict originates from the remote client, not from the code
+    that happens to deserialize it, so the warning is attributed to a
+    synthetic ``legacy_wire`` module rather than to the repro frame calling
+    ``from_dict`` -- the service's HTTP handler and pool workers routinely
+    deserialize client payloads and must not fail the internal-deprecation
+    CI gate on a client's behalf.
+    """
+    warnings.warn_explicit(
+        f"{old} is deprecated; use {new} instead",
+        DeprecationWarning,
+        filename="<legacy wire payload>",
+        lineno=0,
+        module="legacy_wire",
+    )
+
+
+@dataclass(frozen=True)
+class CompileOptions:
+    """Immutable configuration of one compilation pipeline.
+
+    Example
+    -------
+    >>> options = CompileOptions(solver="topdown", metric="time", prune=False)
+    >>> options.replace(prune=True).prune
+    True
+    """
+
+    #: DP solver: ``"gmc"`` (bottom-up, paper Fig. 4) or ``"topdown"``.
+    solver: str = "gmc"
+    #: Cost metric: a resolvable name or a live :class:`CostMetric`.
+    metric: Union[str, CostMetric] = "flops"
+    #: Kernel catalog; ``None`` selects the shared default catalog.
+    catalog: Optional[Any] = None
+    #: Skip splits whose lower-bounded cost cannot beat the best-so-far.
+    prune: bool = True
+    #: Serve ``catalog.match`` through the signature-keyed match cache.
+    match_cache: bool = True
+    #: Code emitters to run, by registered name (``"julia"``, ``"numpy"``).
+    emit: Tuple[str, ...] = ()
+    #: Per-request time budget in seconds (placeholder: validated and
+    #: carried by solvers; enforcement inside the DP loop is a ROADMAP item).
+    deadline_s: Optional[float] = None
+    #: Override for the per-metric kernel-cost LRU capacity.
+    cost_cache_size: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "emit", tuple(self.emit))
+        self.validate()
+
+    # ------------------------------------------------------------ validation
+    def validate(self) -> None:
+        """Raise :class:`ValueError`/:class:`TypeError` on any bad field."""
+        if self.solver not in SOLVERS:
+            raise ValueError(
+                f"unknown solver {self.solver!r}; expected one of {SOLVERS}"
+            )
+        if not isinstance(self.metric, CostMetric):
+            resolve_metric(self.metric)  # raises on unknown names/types
+        from .codegen import available_emitters  # deferred: avoids import cycle
+
+        known = available_emitters()
+        for target in self.emit:
+            if target not in known:
+                raise ValueError(
+                    f"unknown emit target {target!r}; registered emitters: {known}"
+                )
+        if self.deadline_s is not None:
+            deadline = float(self.deadline_s)
+            if not deadline > 0:
+                raise ValueError(f"deadline_s must be positive, got {deadline!r}")
+        if self.cost_cache_size is not None:
+            if (
+                not isinstance(self.cost_cache_size, int)
+                or not 1 <= self.cost_cache_size <= MAX_COST_CACHE_SIZE
+            ):
+                raise ValueError(
+                    f"cost_cache_size must be an int in [1, {MAX_COST_CACHE_SIZE}], "
+                    f"got {self.cost_cache_size!r}"
+                )
+        if self.catalog is not None and not hasattr(self.catalog, "match"):
+            raise TypeError(f"catalog {self.catalog!r} has no match() method")
+
+    # -------------------------------------------------------------- deriving
+    def replace(self, **changes) -> "CompileOptions":
+        """A copy with *changes* applied (and re-validated)."""
+        return _dataclass_replace(self, **changes)
+
+    # ------------------------------------------------------------ resolution
+    @property
+    def metric_name(self) -> str:
+        """The metric's wire name (``.name`` for live instances)."""
+        return self.metric if isinstance(self.metric, str) else self.metric.name
+
+    def resolve_metric(self) -> CostMetric:
+        """A :class:`CostMetric` instance for :attr:`metric`.
+
+        Live instances are returned untouched -- they are caller-owned and
+        possibly shared across solvers, so :attr:`cost_cache_size` is only
+        applied to instances this call constructs from a metric *name*.
+        """
+        if isinstance(self.metric, CostMetric):
+            return self.metric
+        metric = resolve_metric(self.metric)
+        if self.cost_cache_size is not None:
+            metric.cost_cache_size = self.cost_cache_size
+        return metric
+
+    def resolve_catalog(self):
+        """The catalog to compile against (default catalog when unset)."""
+        if self.catalog is not None:
+            return self.catalog
+        from .kernels.catalog import default_catalog  # deferred: import cycle
+
+        return default_catalog()
+
+    # ----------------------------------------------------------------- wire
+    def to_wire(self) -> Dict[str, object]:
+        """The JSON-compatible dict form used by the compilation service.
+
+        The catalog is process-local state and never travels on the wire; a
+        live metric instance is reduced to its :attr:`metric_name`.
+        """
+        payload: Dict[str, object] = {
+            "solver": self.solver,
+            "metric": self.metric_name,
+            "emit": list(self.emit),
+            "prune": self.prune,
+            "match_cache": self.match_cache,
+        }
+        if self.deadline_s is not None:
+            payload["deadline_s"] = self.deadline_s
+        if self.cost_cache_size is not None:
+            payload["cost_cache_size"] = self.cost_cache_size
+        return payload
+
+    @classmethod
+    def from_wire(cls, payload: Mapping) -> "CompileOptions":
+        """Rebuild options from :meth:`to_wire` output (strict on keys and
+        on boolean types: ``"false"`` is a client bug, not ``True``)."""
+        if not isinstance(payload, Mapping):
+            raise ValueError("options must be a JSON object")
+        unknown = set(payload) - set(_WIRE_KEYS)
+        if unknown:
+            raise ValueError(f"unknown option fields: {sorted(unknown)}")
+
+        def wire_bool(key: str) -> bool:
+            value = payload.get(key, True)
+            if not isinstance(value, bool):
+                raise ValueError(f"option {key!r} must be a boolean, got {value!r}")
+            return value
+
+        deadline = payload.get("deadline_s")
+        cache_size = payload.get("cost_cache_size")
+        return cls(
+            solver=payload.get("solver", "gmc"),
+            metric=payload.get("metric", "flops"),
+            emit=tuple(payload.get("emit", ())),
+            prune=wire_bool("prune"),
+            match_cache=wire_bool("match_cache"),
+            deadline_s=None if deadline is None else float(deadline),
+            cost_cache_size=None if cache_size is None else int(cache_size),
+        )

@@ -14,11 +14,13 @@ long-running, concurrent service:
 * :mod:`repro.service.http` -- stdlib HTTP front-end (``POST /compile``,
   ``POST /batch``, ``GET /stats``, ``GET /healthz``), wired into the CLI
   as ``python -m repro.frontend --serve``;
-* :mod:`repro.service.telemetry` -- unified snapshot/aggregation of the
-  four cache layers (match cache, interner, inference memo, kernel-cost
-  LRU).
+* :mod:`repro.telemetry` -- unified snapshot/aggregation of the four cache
+  layers (match cache, interner, inference memo, kernel-cost LRU); it has
+  no service dependencies and lives at the package root
+  (``repro.service.telemetry`` remains as a compatibility alias).
 """
 
+from ..options import CompileOptions
 from .api import (
     AssignmentResult,
     CompileRequest,
@@ -31,6 +33,7 @@ from .pool import InProcessExecutor, WorkerPool, create_executor
 
 __all__ = [
     "AssignmentResult",
+    "CompileOptions",
     "CompileRequest",
     "CompileResponse",
     "RequestError",

@@ -6,39 +6,39 @@ speak the same two dataclasses:
 
 * :class:`CompileRequest` -- one compilation problem, given either as DSL
   source text (the Fig. 1/2 grammar of :mod:`repro.algebra.dsl`) or as a
-  structured operand/assignment spec, plus the pipeline options (cost
-  metric, solver, codegen targets, pruning and match-cache toggles);
+  structured operand/assignment spec, plus one
+  :class:`~repro.options.CompileOptions` value naming the pipeline options
+  (solver, metric, emit targets, pruning, match-cache policy, deadline
+  budget, cache sizing);
 * :class:`CompileResponse` -- the per-assignment kernel sequences,
   parenthesizations, costs, optional generated code, and timing.
 
 Both serialize to plain JSON-compatible dicts (``to_dict``/``from_dict``),
 which is also the wire format between the pool parent and its worker
 processes -- workers never unpickle custom classes, so the pool works under
-every multiprocessing start method.
+every multiprocessing start method.  On the wire the options travel as a
+nested ``"options"`` object (:meth:`CompileOptions.to_wire`); the pre-PR 4
+flat fields (``metric``/``solver``/``emit``/``prune``/``use_match_cache``
+at the top level) are still accepted with a :class:`DeprecationWarning`.
 
 :func:`execute_request` is the single execution path shared by every
-executor: it runs the same pipeline as
-:func:`repro.frontend.compiler.compile_source`, so service responses are
-bit-identical to direct library calls (asserted in ``tests/test_service.py``
-and by ``scripts/ci_service_check.py``).
+executor: it runs the request through a
+:class:`~repro.frontend.compiler.Compiler` session -- the same class behind
+:func:`repro.frontend.compile_source` and the CLI -- so service responses
+are bit-identical to direct library calls (asserted in
+``tests/test_service.py`` and by ``scripts/ci_service_check.py``).
 """
 
 from __future__ import annotations
 
 import time
 import uuid
-from contextlib import nullcontext
-from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import InitVar, dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from ..algebra.dsl import ParseError, parse_program
-from ..codegen.julia import generate_julia
-from ..codegen.python_numpy import generate_numpy
-from ..core.gmc import GMCAlgorithm
-from ..core.topdown import TopDownGMC
-from ..cost.metrics import CostMetric, resolve_metric
-from ..kernels.catalog import KernelCatalog, default_catalog
-from ..matching.match_cache import match_caching_disabled
+from ..algebra.dsl import parse_program
+from ..frontend.compiler import Compiler
+from ..options import CompileOptions, warn_legacy, warn_legacy_wire
 
 __all__ = [
     "RequestError",
@@ -49,23 +49,24 @@ __all__ = [
     "affinity_key",
 ]
 
-#: Codegen targets a request may ask for.
-EMIT_TARGETS = ("julia", "numpy")
+#: Top-level keys of the current wire format.
+_WIRE_KEYS = {"source", "operands", "assignments", "options", "request_id"}
 
-#: Solvers a request may select.
-SOLVERS = ("gmc", "topdown")
-
-#: Metric spellings accepted by :func:`repro.cost.metrics.resolve_metric`.
-METRICS = ("flops", "time", "memory", "accuracy", "kernels")
+#: Pre-PR 4 flat option keys, still accepted (deprecated) on the wire and
+#: as constructor keywords.
+_LEGACY_OPTION_KEYS = ("metric", "solver", "emit", "prune", "use_match_cache")
 
 
 class RequestError(ValueError):
     """Raised when a request is malformed (maps to HTTP 400)."""
 
 
+_SENTINEL = object()
+
+
 @dataclass
 class CompileRequest:
-    """One compilation problem plus pipeline options.
+    """One compilation problem plus its pipeline options.
 
     Exactly one of ``source`` (DSL text) or ``operands``+``assignments``
     (structured spec) must be provided.  The structured spec is rendered to
@@ -77,17 +78,44 @@ class CompileRequest:
     ``assignments``
         a list of ``{"target": str, "expression": str}`` where the
         expression uses the Fig. 1 grammar (``A^-1 * B * C^T``).
+
+    Pipeline options live in ``options`` (a
+    :class:`~repro.options.CompileOptions`); the pre-PR 4 loose keywords
+    (``metric=``, ``solver=``, ``emit=``, ``prune=``, ``use_match_cache=``)
+    are accepted as a deprecated shim.
     """
 
     source: Optional[str] = None
     operands: Optional[Dict[str, dict]] = None
     assignments: Optional[List[dict]] = None
-    metric: str = "flops"
-    solver: str = "gmc"
-    emit: Tuple[str, ...] = ()
-    prune: bool = True
-    use_match_cache: bool = True
+    options: CompileOptions = field(default_factory=CompileOptions)
     request_id: str = field(default_factory=lambda: uuid.uuid4().hex)
+    # Deprecated loose keywords (PR 3 call-shape); folded into ``options``.
+    metric: InitVar[object] = _SENTINEL
+    solver: InitVar[object] = _SENTINEL
+    emit: InitVar[object] = _SENTINEL
+    prune: InitVar[object] = _SENTINEL
+    use_match_cache: InitVar[object] = _SENTINEL
+
+    def __post_init__(self, metric, solver, emit, prune, use_match_cache) -> None:
+        legacy = {
+            "metric": metric,
+            "solver": solver,
+            "emit": emit,
+            "prune": prune,
+            "match_cache": use_match_cache,
+        }
+        legacy = {key: value for key, value in legacy.items() if value is not _SENTINEL}
+        if legacy:
+            warn_legacy(
+                "CompileRequest(metric=..., solver=..., emit=..., prune=..., "
+                "use_match_cache=...)",
+                "CompileRequest(options=CompileOptions(...))",
+                stacklevel=4,
+            )
+            if "emit" in legacy:
+                legacy["emit"] = tuple(legacy["emit"])
+            self.options = self.options.replace(**legacy)
 
     # ------------------------------------------------------------ validation
     def validate(self) -> None:
@@ -100,19 +128,12 @@ class CompileRequest:
             raise RequestError("'source' excludes 'operands'/'assignments'")
         if self.source is not None and not isinstance(self.source, str):
             raise RequestError("'source' must be a string of DSL text")
-        if self.metric not in METRICS:
-            raise RequestError(
-                f"unknown metric {self.metric!r}; expected one of {METRICS}"
-            )
-        if self.solver not in SOLVERS:
-            raise RequestError(
-                f"unknown solver {self.solver!r}; expected one of {SOLVERS}"
-            )
-        for target in self.emit:
-            if target not in EMIT_TARGETS:
-                raise RequestError(
-                    f"unknown emit target {target!r}; expected subset of {EMIT_TARGETS}"
-                )
+        if not isinstance(self.options, CompileOptions):
+            raise RequestError("'options' must be a CompileOptions value")
+        try:
+            self.options.validate()
+        except (TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from exc
 
     # ------------------------------------------------------------- rendering
     def to_source(self) -> str:
@@ -141,11 +162,7 @@ class CompileRequest:
     def to_dict(self) -> dict:
         payload: dict = {
             "request_id": self.request_id,
-            "metric": self.metric,
-            "solver": self.solver,
-            "emit": list(self.emit),
-            "prune": self.prune,
-            "use_match_cache": self.use_match_cache,
+            "options": self.options.to_wire(),
         }
         if self.source is not None:
             payload["source"] = self.source
@@ -159,29 +176,42 @@ class CompileRequest:
     def from_dict(cls, payload: Mapping) -> "CompileRequest":
         if not isinstance(payload, Mapping):
             raise RequestError("request body must be a JSON object")
-        known = {
-            "source",
-            "operands",
-            "assignments",
-            "metric",
-            "solver",
-            "emit",
-            "prune",
-            "use_match_cache",
-            "request_id",
-        }
-        unknown = set(payload) - known
+        unknown = set(payload) - _WIRE_KEYS - set(_LEGACY_OPTION_KEYS)
         if unknown:
             raise RequestError(f"unknown request fields: {sorted(unknown)}")
+        legacy_present = [key for key in _LEGACY_OPTION_KEYS if key in payload]
+        if legacy_present and "options" in payload:
+            raise RequestError(
+                f"flat option fields {legacy_present} cannot be combined with "
+                f"a nested 'options' object"
+            )
+        try:
+            if legacy_present:
+                warn_legacy_wire(
+                    "flat CompileRequest wire fields "
+                    "(metric/solver/emit/prune/use_match_cache)",
+                    "a nested 'options' object (CompileOptions.to_wire())",
+                )
+                options = CompileOptions(
+                    metric=payload.get("metric", "flops"),
+                    solver=payload.get("solver", "gmc"),
+                    emit=tuple(payload.get("emit", ())),
+                    prune=bool(payload.get("prune", True)),
+                    match_cache=bool(payload.get("use_match_cache", True)),
+                )
+            elif "options" in payload:
+                options = CompileOptions.from_wire(payload["options"])
+            else:
+                options = CompileOptions()
+        except RequestError:
+            raise
+        except (TypeError, ValueError) as exc:
+            raise RequestError(str(exc)) from exc
         request = cls(
             source=payload.get("source"),
             operands=payload.get("operands"),
             assignments=payload.get("assignments"),
-            metric=payload.get("metric", "flops"),
-            solver=payload.get("solver", "gmc"),
-            emit=tuple(payload.get("emit", ())),
-            prune=bool(payload.get("prune", True)),
-            use_match_cache=bool(payload.get("use_match_cache", True)),
+            options=options,
             request_id=str(payload.get("request_id") or uuid.uuid4().hex),
         )
         request.validate()
@@ -243,7 +273,8 @@ class CompileResponse:
         for result in self.assignments:
             if result.target == target:
                 return result
-        raise KeyError(target)
+        available = ", ".join(repr(r.target) for r in self.assignments) or "<none>"
+        raise KeyError(f"no assignment {target!r}; available targets: {available}")
 
     @property
     def kernel_sequences(self) -> Dict[str, List[str]]:
@@ -282,70 +313,67 @@ class CompileResponse:
 
 def execute_request(
     request: CompileRequest,
-    catalog: Optional[KernelCatalog] = None,
-    metrics: Optional[Dict[str, CostMetric]] = None,
+    catalog=None,
+    metrics=None,
     worker: Optional[int] = None,
+    *,
+    compiler: Optional[Compiler] = None,
 ) -> CompileResponse:
-    """Run the full pipeline on *request* and return its response.
+    """Run *request* through a :class:`Compiler` session and respond.
 
-    *metrics*, when given, is a per-executor cache of resolved
-    :class:`CostMetric` instances keyed by metric name: reusing one instance
-    across requests is what keeps the kernel-cost LRU warm, exactly like the
-    interner, inference memo and match cache (which are process-global /
-    catalog-owned and warm by construction).  Errors never propagate -- they
-    are folded into an ``ok=False`` response so a malformed request cannot
-    take down a worker.
+    *compiler* (keyword-only) is the executor's warm session -- each pool
+    worker holds one; omitting it runs on a throwaway session against the
+    default catalog.  The positional parameters keep the pre-session
+    signature ``(request, catalog, metrics, worker)``, so legacy callers
+    bind exactly as before: *catalog*/*metrics* are the deprecated
+    pre-session spelling and build an equivalent session (*metrics* becomes
+    the session's live metric-instance cache, so the caller's name-keyed
+    dict is reused -- and extended in place -- exactly as before).  Errors
+    never propagate -- they are folded into an ``ok=False`` response so a
+    malformed request cannot take down a worker.
     """
     started = time.perf_counter()
     try:
+        if compiler is None and isinstance(catalog, Compiler):
+            # Misplaced session: a Compiler in the catalog slot is a caller
+            # mixing the two signatures; accept it rather than crash.
+            compiler, catalog = catalog, None
+        if compiler is None:
+            if catalog is not None or metrics is not None:
+                warn_legacy(
+                    "execute_request(request, catalog=..., metrics=...)",
+                    "execute_request(request, compiler=Compiler(...))",
+                )
+            compiler = Compiler(CompileOptions(catalog=catalog))
+            if metrics is not None:
+                compiler._metrics = metrics
         request.validate()
         source = request.to_source()
         parse_started = time.perf_counter()
         program = parse_program(source)
         parse_s = time.perf_counter() - parse_started
 
-        if metrics is not None:
-            metric = metrics.get(request.metric)
-            if metric is None:
-                metric = metrics[request.metric] = resolve_metric(request.metric)
-        else:
-            metric = resolve_metric(request.metric)
-        catalog = catalog if catalog is not None else default_catalog()
-        solver_cls = GMCAlgorithm if request.solver == "gmc" else TopDownGMC
-        solver = solver_cls(catalog=catalog, metric=metric, prune=request.prune)
-
-        guard = nullcontext() if request.use_match_cache else match_caching_disabled()
-        results: List[AssignmentResult] = []
         solve_started = time.perf_counter()
-        with guard:
-            for target, expression in program.assignments:
-                solution = solver.solve(expression)
-                kernel_program = solution.program(strategy_name=f"GMC[{target}]")
-                code: Dict[str, str] = {}
-                if "julia" in request.emit:
-                    code["julia"] = generate_julia(
-                        kernel_program, function_name=f"compute_{target}"
-                    )
-                if "numpy" in request.emit:
-                    code["numpy"] = generate_numpy(
-                        kernel_program, function_name=f"compute_{target.lower()}"
-                    )
-                try:
-                    cost = float(solution.optimal_cost)  # type: ignore[arg-type]
-                except (TypeError, ValueError):
-                    cost = float("nan")
-                results.append(
-                    AssignmentResult(
-                        target=target,
-                        expression=str(expression),
-                        kernels=list(kernel_program.kernel_names),
-                        parenthesization=solution.parenthesization(),
-                        cost=cost,
-                        flops=kernel_program.total_flops,
-                        generation_time_s=getattr(solution, "generation_time", 0.0),
-                        code=code,
-                    )
+        compiled = compiler.compile(program, options=request.options)
+        results: List[AssignmentResult] = []
+        for entry in compiled:
+            code = {name: entry.emit(name) for name in request.options.emit}
+            try:
+                cost = float(entry.solution.optimal_cost)  # type: ignore[arg-type]
+            except (TypeError, ValueError):
+                cost = float("nan")
+            results.append(
+                AssignmentResult(
+                    target=entry.target,
+                    expression=str(entry.expression),
+                    kernels=list(entry.program.kernel_names),
+                    parenthesization=entry.solution.parenthesization(),
+                    cost=cost,
+                    flops=entry.program.total_flops,
+                    generation_time_s=getattr(entry.solution, "generation_time", 0.0),
+                    code=code,
                 )
+            )
         solve_s = time.perf_counter() - solve_started
         return CompileResponse(
             request_id=request.request_id,

@@ -3,7 +3,11 @@
 Endpoints (all JSON):
 
 ``POST /compile``
-    body: one :class:`repro.service.api.CompileRequest` dict.  200 with a
+    body: one :class:`repro.service.api.CompileRequest` dict -- the problem
+    (``source`` or ``operands``+``assignments``) plus a nested ``options``
+    object (:meth:`repro.options.CompileOptions.to_wire`; the pre-PR 4 flat
+    ``metric``/``solver``/... fields are still accepted with a
+    ``DeprecationWarning``).  200 with a
     :class:`~repro.service.api.CompileResponse` dict on success; 400 when
     the request is malformed or the compilation fails (the body still
     carries the full ``ok=False`` response with its ``error`` field).

@@ -43,9 +43,10 @@ import threading
 import time
 from typing import Dict, List, Optional, Sequence
 
-from ..cost.metrics import CostMetric
-from ..kernels.catalog import KernelCatalog, default_catalog
-from . import telemetry
+from ..frontend.compiler import Compiler
+from ..kernels.catalog import KernelCatalog
+from ..options import CompileOptions
+from .. import telemetry
 from .api import CompileRequest, CompileResponse, affinity_key, execute_request
 
 __all__ = ["InProcessExecutor", "WorkerPool", "create_executor"]
@@ -68,8 +69,8 @@ class InProcessExecutor:
     """
 
     def __init__(self, catalog: Optional[KernelCatalog] = None) -> None:
-        self._catalog = catalog if catalog is not None else default_catalog()
-        self._metrics: Dict[str, CostMetric] = {}
+        #: The warm compilation session shared by every request.
+        self.compiler = Compiler(CompileOptions(catalog=catalog))
         self._lock = threading.Lock()
         self.requests_served = 0
         self.errors = 0
@@ -80,9 +81,7 @@ class InProcessExecutor:
 
     def submit(self, request: CompileRequest, timeout: Optional[float] = None) -> CompileResponse:
         with self._lock:
-            response = execute_request(
-                request, catalog=self._catalog, metrics=self._metrics
-            )
+            response = execute_request(request, compiler=self.compiler)
             self.requests_served += 1
             if not response.ok:
                 self.errors += 1
@@ -95,7 +94,7 @@ class InProcessExecutor:
 
     def stats(self) -> dict:
         with self._lock:
-            caches = telemetry.snapshot(self._catalog, self._metrics)
+            caches = self.compiler.cache_stats()
         pooled = telemetry.aggregate([caches])
         return {
             "mode": "in-process",
@@ -113,7 +112,7 @@ class InProcessExecutor:
 
     def reset_stats(self) -> None:
         with self._lock:
-            telemetry.reset(self._catalog, self._metrics)
+            self.compiler.reset_cache_stats()
             self.requests_served = 0
             self.errors = 0
 
@@ -137,11 +136,14 @@ class InProcessExecutor:
 def _worker_main(worker_id: int, inbox, outbox) -> None:
     """Serve requests until shutdown; every cache stays warm in between.
 
-    Messages are ``(kind, token, payload)`` tuples; every message except
-    ``shutdown``/``crash`` is answered with ``(token, payload)`` on *outbox*.
+    Each worker holds one :class:`~repro.frontend.compiler.Compiler`
+    session: the session owns the catalog and the per-metric cost LRUs, and
+    with them every cache layer that makes repeated structurally similar
+    requests cheap.  Messages are ``(kind, token, payload)`` tuples; every
+    message except ``shutdown``/``crash`` is answered with ``(token,
+    payload)`` on *outbox*.
     """
-    catalog = default_catalog()
-    metrics: Dict[str, CostMetric] = {}
+    compiler = Compiler()
     served = 0
     failed = 0
     while True:
@@ -154,7 +156,7 @@ def _worker_main(worker_id: int, inbox, outbox) -> None:
             try:
                 request = CompileRequest.from_dict(payload)
                 response = execute_request(
-                    request, catalog=catalog, metrics=metrics, worker=worker_id
+                    request, compiler=compiler, worker=worker_id
                 )
             except Exception as exc:  # noqa: BLE001 -- never kill the loop
                 response = CompileResponse(
@@ -176,12 +178,12 @@ def _worker_main(worker_id: int, inbox, outbox) -> None:
                         "pid": os.getpid(),
                         "requests": served,
                         "errors": failed,
-                        "caches": telemetry.snapshot(catalog, metrics),
+                        "caches": compiler.cache_stats(),
                     },
                 )
             )
         elif kind == "reset_stats":
-            telemetry.reset(catalog, metrics)
+            compiler.reset_cache_stats()
             served = 0
             failed = 0
             outbox.put((token, True))

@@ -1,0 +1,115 @@
+"""Unified cache telemetry: snapshot, reset and aggregate every cache layer.
+
+The compilation pipeline owns four caches, each of which now exposes the
+uniform ``stats()`` / ``reset_stats()`` protocol (plain dicts with ``size``,
+``max_entries``, ``hits``, ``misses``, ``hit_rate`` and ``evictions``):
+
+* the **match cache** of a kernel catalog
+  (:class:`repro.matching.match_cache.MatchCache`) -- signature-keyed
+  kernel-match results;
+* the **expression interner**
+  (:class:`repro.algebra.interning.ExpressionInterner`) -- hash-consing
+  table occupancy;
+* the **inference memo**
+  (:class:`repro.algebra.inference.PropertyInference`) -- memoized property
+  sets;
+* the **kernel-cost LRU** (:meth:`repro.cost.metrics.CostMetric.stats`) --
+  memoized per-kernel cost evaluations, one memo per live metric instance.
+
+This module never mutates pipeline state beyond ``reset_stats``; it only
+*reads* the counters the layers maintain themselves, so the service layer
+stays import-light and the cache layers stay service-agnostic.
+
+:func:`snapshot` collects one process's view; :func:`aggregate` pools the
+snapshots of many workers into fleet-wide counters with recomputed hit
+rates (rates are recomputed from pooled hits/misses, never averaged, so a
+busy worker weighs proportionally to its traffic).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from .algebra.inference import inference_engine
+from .algebra.interning import default_interner
+from .cost.metrics import CostMetric
+from .kernels.catalog import KernelCatalog, default_catalog
+
+__all__ = ["CACHE_LAYERS", "snapshot", "reset", "aggregate"]
+
+#: The cache layers every snapshot reports, in display order.
+CACHE_LAYERS = ("match_cache", "interner", "inference", "kernel_cost")
+
+#: Counter keys that add up across workers / metric instances.
+_SUMMED_KEYS = ("size", "max_entries", "hits", "misses", "evictions", "bypasses")
+
+
+def _combine(stats: Sequence[Mapping], layer: str) -> Dict[str, object]:
+    """Pool several same-layer counter dicts into one (summing counters)."""
+    combined: Dict[str, object] = {"layer": layer}
+    for key in _SUMMED_KEYS:
+        values = [entry[key] for entry in stats if key in entry]
+        if values:
+            combined[key] = sum(values)
+    hits = combined.get("hits", 0)
+    misses = combined.get("misses", 0)
+    total = hits + misses  # type: ignore[operator]
+    combined["hit_rate"] = hits / total if total else 0.0  # type: ignore[operator]
+    return combined
+
+
+def snapshot(
+    catalog: Optional[KernelCatalog] = None,
+    metrics: Optional[Mapping[str, CostMetric]] = None,
+) -> Dict[str, dict]:
+    """One process's cache counters, keyed by layer name.
+
+    *catalog* defaults to :func:`default_catalog`; *metrics* is the
+    executor's cache of live metric instances (their kernel-cost memos are
+    combined into one ``kernel_cost`` entry, with a per-metric breakdown
+    under ``per_metric``).
+    """
+    catalog = catalog if catalog is not None else default_catalog()
+    metric_items = list((metrics or {}).items())
+    metric_stats: List[dict] = [metric.stats() for _, metric in metric_items]
+    kernel_cost = _combine(metric_stats, "kernel_cost")
+    # Keyed by the executor's cache key (stringified), not by the metric's
+    # display name: two live instances of one metric (e.g. the same name
+    # under different cost_cache_size settings) must not overwrite each
+    # other in the breakdown.
+    kernel_cost["per_metric"] = {
+        str(cache_key): {
+            key: value for key, value in entry.items() if key != "metric"
+        }
+        for (cache_key, _), entry in zip(metric_items, metric_stats)
+    }
+    return {
+        "match_cache": catalog.match_cache.stats(),
+        "interner": default_interner().stats(),
+        "inference": inference_engine().stats(),
+        "kernel_cost": kernel_cost,
+    }
+
+
+def reset(
+    catalog: Optional[KernelCatalog] = None,
+    metrics: Optional[Mapping[str, CostMetric]] = None,
+) -> None:
+    """Zero the stats counters of every layer (entries stay warm)."""
+    catalog = catalog if catalog is not None else default_catalog()
+    catalog.match_cache.reset_stats()
+    default_interner().reset_stats()
+    inference_engine().reset_stats()
+    for metric in (metrics or {}).values():
+        metric.reset_stats()
+
+
+def aggregate(snapshots: Iterable[Mapping[str, Mapping]]) -> Dict[str, dict]:
+    """Pool per-worker snapshots into fleet-wide counters per layer."""
+    snapshots = list(snapshots)
+    pooled: Dict[str, dict] = {}
+    for layer in CACHE_LAYERS:
+        entries = [snap[layer] for snap in snapshots if layer in snap]
+        pooled[layer] = _combine(entries, layer)
+    pooled["workers"] = len(snapshots)
+    return pooled

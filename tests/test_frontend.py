@@ -128,3 +128,82 @@ class TestCommandLine:
         completed = self._run(str(path), "--metric", "time")
         assert completed.returncode == 0
         assert "total cost" in completed.stdout
+
+
+class TestCommandLineSolverFlags:
+    """CLI parity with the HTTP service: --solver/--no-prune/--no-match-cache
+    are expressible from the command line and change nothing about the
+    chosen kernel sequences (the options only steer *how* the optimum is
+    found)."""
+
+    def _report(self, *arguments, tmp_path):
+        from repro.frontend import main
+
+        path = tmp_path / "problem.chain"
+        path.write_text(SOURCE, encoding="utf-8")
+        import contextlib
+        import io
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = main([str(path), *arguments])
+        assert status == 0
+        return buffer.getvalue()
+
+    def test_topdown_solver_is_selectable(self, tmp_path):
+        report = self._report("--solver", "topdown", tmp_path=tmp_path)
+        assert "TRMM -> POSV" in report
+
+    def test_no_prune_flag(self, tmp_path):
+        default = self._report(tmp_path=tmp_path)
+        unpruned = self._report("--no-prune", tmp_path=tmp_path)
+        assert "TRMM -> POSV" in unpruned
+        assert [l for l in default.splitlines() if "kernels:" in l] == [
+            l for l in unpruned.splitlines() if "kernels:" in l
+        ]
+
+    def test_no_match_cache_flag(self, tmp_path):
+        report = self._report(
+            "--solver", "topdown", "--no-prune", "--no-match-cache", tmp_path=tmp_path
+        )
+        assert "TRMM -> POSV" in report
+
+    def test_emit_flag_uses_the_registry(self, tmp_path):
+        julia = self._report("--emit", "julia", "--solver", "topdown", tmp_path=tmp_path)
+        assert "function compute_X(" in julia
+
+    def test_pipeline_flags_are_rejected_in_serve_mode(self, capsys):
+        """Service requests carry their own options; server-wide pipeline
+        flags would be silently overridden, so --serve refuses them."""
+        from repro.frontend import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--serve", "--solver", "topdown", "--no-prune", "--port", "0"])
+        assert excinfo.value.code == 2
+        assert "--solver" in capsys.readouterr().err
+
+    def test_cli_flags_match_service_options(self, tmp_path):
+        """The flag combination and the equivalent CompileRequest produce the
+        same kernel sequences (CLI/service parity, both shapes of the same
+        CompileOptions)."""
+        from repro.service.api import CompileRequest, execute_request
+        from repro import CompileOptions
+
+        report = self._report(
+            "--solver", "topdown", "--no-prune", "--no-match-cache", tmp_path=tmp_path
+        )
+        cli_kernels = [
+            line.split(":", 1)[1].strip().split(" -> ")
+            for line in report.splitlines()
+            if line.strip().startswith("kernels:")
+        ]
+        response = execute_request(
+            CompileRequest(
+                source=SOURCE,
+                options=CompileOptions(
+                    solver="topdown", prune=False, match_cache=False
+                ),
+            )
+        )
+        assert response.ok
+        assert cli_kernels == [list(r.kernels) for r in response.assignments]
