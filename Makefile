@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-fast bench bench-smoke paper-benchmarks serve service-check api-check
+.PHONY: test test-fast bench bench-smoke paper-benchmarks serve service-check snapshot-check api-check
 
 ## Tier-1 verification: the full test suite.
 test:
@@ -23,6 +23,11 @@ serve:
 ## End-to-end check against a freshly booted HTTP server (what CI runs).
 service-check:
 	$(PYTHON) scripts/ci_service_check.py --workers 2 --batch 24
+
+## Snapshot warm-boot check: boot, snapshot, restart against the same
+## --snapshot-dir, and gate on the restarted pool's plan-cache hit rate.
+snapshot-check:
+	$(PYTHON) scripts/ci_service_check.py --workers 2 --batch 8 --snapshot
 
 ## Public-API surface manifest + internal deprecation hygiene (what CI runs).
 api-check:

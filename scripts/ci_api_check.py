@@ -50,6 +50,7 @@ SURFACE_MODULES = (
     "repro.codegen",
     "repro.service",
     "repro.telemetry",
+    "repro.persist",
 )
 
 

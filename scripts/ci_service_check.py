@@ -11,12 +11,22 @@ worker pool), then drives the acceptance workload against it:
    through ``POST /batch``;
 4. every kernel sequence must equal a direct in-process
    ``compile_source`` call, every response must be 200, and ``GET /stats``
-   must report a pooled match-cache hit rate of at least ``--min-hit-rate``
-   (default 0.5) over the warm half.
+   must report a pooled plan-cache hit rate of at least ``--min-hit-rate``
+   (default 0.5) over the warm half (the whole-plan cache of
+   :mod:`repro.persist` answers warm signature-equal traffic above the
+   solvers, so it -- not the match cache -- carries the warm hits).
+
+With ``--snapshot``, a second phase exercises **snapshot-backed warm
+boot**: the server is restarted against a shared ``--snapshot-dir`` after
+``POST /snapshot``, and the restarted server's *first* batch of
+signature-equal requests must be answered with a plan-cache hit rate of at
+least ``--min-plan-hit-rate`` (default 0.5) -- proving a rebooted worker
+pool starts warm from disk, with identical kernel sequences.
 
 Exit status is non-zero on any violation.  Usage (CI runs exactly this)::
 
     PYTHONPATH=src python scripts/ci_service_check.py --workers 2 --batch 24
+    PYTHONPATH=src python scripts/ci_service_check.py --workers 2 --batch 8 --snapshot
 """
 
 from __future__ import annotations
@@ -66,31 +76,27 @@ def fail(message: str) -> int:
     return 1
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--workers", type=int, default=2)
-    parser.add_argument("--batch", type=int, default=24, help="total chains (>= 4)")
-    parser.add_argument("--min-hit-rate", type=float, default=0.5)
-    parser.add_argument("--boot-timeout", type=float, default=120.0)
-    args = parser.parse_args(argv)
-    if args.batch < 4:
-        parser.error("--batch must be >= 4")
+def boot_server(workers: int, boot_timeout: float, snapshot_dir=None):
+    """Start ``python -m repro.frontend --serve`` and wait for /healthz.
 
-    reference = compile_source(tagged_source("ref")).assignment("X").kernel_sequence
-    print(f"reference kernel sequence: {reference}")
-
+    Returns ``(process, base_url)``; raises ``RuntimeError`` on boot
+    failure (the caller terminates the process either way).
+    """
+    command = [
+        sys.executable,
+        "-u",
+        "-m",
+        "repro.frontend",
+        "--serve",
+        "--port",
+        "0",
+        "--workers",
+        str(workers),
+    ]
+    if snapshot_dir is not None:
+        command += ["--snapshot-dir", str(snapshot_dir)]
     process = subprocess.Popen(
-        [
-            sys.executable,
-            "-u",
-            "-m",
-            "repro.frontend",
-            "--serve",
-            "--port",
-            "0",
-            "--workers",
-            str(args.workers),
-        ],
+        command,
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -101,21 +107,158 @@ def main(argv=None) -> int:
         print(f"server: {banner.strip()}")
         match = re.search(r"http://([\d.]+):(\d+)", banner)
         if not match:
-            return fail(f"no address in server banner: {banner!r}")
+            raise RuntimeError(f"no address in server banner: {banner!r}")
         base = f"http://{match.group(1)}:{match.group(2)}"
-
-        deadline = time.time() + args.boot_timeout
+        deadline = time.time() + boot_timeout
         while True:
             try:
                 status, health = http_json("GET", f"{base}/healthz", timeout=10.0)
                 break
             except (urllib.error.URLError, OSError):
                 if time.time() > deadline:
-                    return fail("server never answered /healthz")
+                    raise RuntimeError("server never answered /healthz")
                 time.sleep(0.25)
         if status != 200 or health.get("status") != "ok":
-            return fail(f"/healthz returned {status}: {health}")
+            raise RuntimeError(f"/healthz returned {status}: {health}")
         print(f"healthz: {health}")
+        return process, base
+    except BaseException:
+        process.terminate()
+        raise
+
+
+def stop_server(process) -> None:
+    process.terminate()
+    try:
+        process.wait(timeout=15)
+    except subprocess.TimeoutExpired:
+        process.kill()
+
+
+def snapshot_check(args, reference) -> int:
+    """Phase 2: restart the server against a shared snapshot dir."""
+    import shutil
+    import tempfile
+
+    snapshot_dir = tempfile.mkdtemp(prefix="repro-ci-snapshot-")
+    tags = [f"s{index}" for index in range(max(4, args.batch // 2))]
+    try:
+        process, base = boot_server(
+            args.workers, args.boot_timeout, snapshot_dir=snapshot_dir
+        )
+        try:
+            status, body = http_json(
+                "POST",
+                f"{base}/batch",
+                {"requests": [{"source": tagged_source(tag)} for tag in tags]},
+            )
+            if status != 200 or body["failed"]:
+                return fail(
+                    f"snapshot warm-up /batch returned {status}, "
+                    f"failed={body.get('failed')}"
+                )
+            status, meta = http_json("POST", f"{base}/snapshot")
+            if status != 200:
+                return fail(f"POST /snapshot returned {status}: {meta}")
+            print(f"snapshot written: {meta}")
+            if not meta.get("plan_entries"):
+                return fail(f"snapshot holds no plan entries: {meta}")
+        finally:
+            stop_server(process)
+
+        # Reboot against the same directory: the first batch of renamed
+        # (signature-equal) chains must be served from the loaded plan cache.
+        process, base = boot_server(
+            args.workers, args.boot_timeout, snapshot_dir=snapshot_dir
+        )
+        try:
+            status, stats_boot = http_json("GET", f"{base}/stats")
+            if status != 200:
+                return fail(f"/stats after reboot returned {status}")
+            loaded = stats_boot.get("snapshot", {}).get("workers_loaded", 0)
+            if loaded < args.workers:
+                return fail(
+                    f"only {loaded}/{args.workers} rebooted workers loaded "
+                    f"the snapshot: {stats_boot.get('snapshot')}"
+                )
+            status, body = http_json(
+                "POST",
+                f"{base}/batch",
+                {
+                    "requests": [
+                        {"source": tagged_source(f"r{tag}")} for tag in tags
+                    ]
+                },
+            )
+            if status != 200 or body["failed"]:
+                return fail(
+                    f"post-reboot /batch returned {status}, "
+                    f"failed={body.get('failed')}"
+                )
+            for tag, entry in zip(tags, body["responses"]):
+                if entry["assignments"][0]["kernels"] != reference:
+                    return fail(
+                        f"post-reboot request r{tag} diverged: "
+                        f"{entry['assignments'][0]['kernels']} != {reference}"
+                    )
+            status, stats_warm = http_json("GET", f"{base}/stats")
+            if status != 200:
+                return fail(f"/stats returned {status}")
+            boot_cache = stats_boot["caches"]["plan_cache"]
+            warm_cache = stats_warm["caches"]["plan_cache"]
+            hits = warm_cache["hits"] - boot_cache["hits"]
+            lookups = hits + warm_cache["misses"] - boot_cache["misses"]
+            hit_rate = hits / lookups if lookups > 0 else 0.0
+            print(
+                f"warm boot: {len(tags)} requests, plan-cache hit rate "
+                f"{hit_rate:.3f} ({hits}/{lookups}) on the restarted pool's "
+                f"first batch"
+            )
+            if hit_rate < args.min_plan_hit_rate:
+                return fail(
+                    f"warm-boot plan-cache hit rate {hit_rate:.3f} < "
+                    f"{args.min_plan_hit_rate:.3f}"
+                )
+        finally:
+            stop_server(process)
+    finally:
+        shutil.rmtree(snapshot_dir, ignore_errors=True)
+    print("SNAPSHOT CHECK PASSED")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=2)
+    parser.add_argument("--batch", type=int, default=24, help="total chains (>= 4)")
+    parser.add_argument("--min-hit-rate", type=float, default=0.5)
+    parser.add_argument("--boot-timeout", type=float, default=120.0)
+    parser.add_argument(
+        "--snapshot",
+        action="store_true",
+        help="also run the snapshot/restart warm-boot phase",
+    )
+    parser.add_argument(
+        "--min-plan-hit-rate",
+        type=float,
+        default=0.5,
+        help=(
+            "minimum plan-cache hit rate on the restarted server's first "
+            "batch (--snapshot phase; default 0.5)"
+        ),
+    )
+    args = parser.parse_args(argv)
+    if args.batch < 4:
+        parser.error("--batch must be >= 4")
+
+    reference = compile_source(tagged_source("ref")).assignment("X").kernel_sequence
+    print(f"reference kernel sequence: {reference}")
+
+    try:
+        process, base = boot_server(args.workers, args.boot_timeout)
+    except RuntimeError as exc:
+        return fail(str(exc))
+    try:
 
         half = args.batch // 2
         cold_tags = [f"c{index}" for index in range(half)]
@@ -190,13 +333,15 @@ def main(argv=None) -> int:
         if problem:
             return fail(f"nested-options request diverged: {problem}")
 
-        cold_cache = stats_cold["caches"]["match_cache"]
-        warm_cache = stats_warm["caches"]["match_cache"]
+        # The plan cache (the layer above the solvers) answers the warm
+        # half; the match cache underneath only sees cold solves.
+        cold_cache = stats_cold["caches"]["plan_cache"]
+        warm_cache = stats_warm["caches"]["plan_cache"]
         hits = warm_cache["hits"] - cold_cache["hits"]
         lookups = hits + warm_cache["misses"] - cold_cache["misses"]
         hit_rate = hits / lookups if lookups > 0 else 0.0
         print(
-            f"warm half: {len(warm_tags)} requests, pooled match-cache hit rate "
+            f"warm half: {len(warm_tags)} requests, pooled plan-cache hit rate "
             f"{hit_rate:.3f} ({hits}/{lookups}), pool counters "
             f"{stats_warm['pool']}"
         )
@@ -206,13 +351,12 @@ def main(argv=None) -> int:
             )
 
         print("SERVICE CHECK PASSED")
-        return 0
     finally:
-        process.terminate()
-        try:
-            process.wait(timeout=15)
-        except subprocess.TimeoutExpired:
-            process.kill()
+        stop_server(process)
+
+    if args.snapshot:
+        return snapshot_check(args, reference)
+    return 0
 
 
 if __name__ == "__main__":

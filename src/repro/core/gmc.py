@@ -114,6 +114,26 @@ class UncomputableChainError(RuntimeError):
     """Raised when no parenthesization of the chain maps onto the catalog."""
 
 
+def _uncomputable_message(solution) -> str:
+    """Why a solution has no kernel sequence (catalog gap vs deadline).
+
+    A deadline-truncated solve may be uncomputable merely because the
+    budget expired before the top cell was reached (the bottom-up DP fills
+    it last); blaming the catalog would mislead the caller into dropping a
+    perfectly computable chain.
+    """
+    if not getattr(solution, "complete", True):
+        return (
+            f"deadline expired before a complete kernel sequence for "
+            f"{solution.expression} was found (best-so-far tables returned, "
+            f"complete=False); retry with a larger deadline_s"
+        )
+    return (
+        f"no kernel sequence computes {solution.expression} with catalog "
+        f"{solution.catalog.name}"
+    )
+
+
 @dataclass
 class _CellChoice:
     """The kernel decision recorded for one DP cell."""
@@ -143,6 +163,10 @@ class GMCSolution:
     choices: List[List[Optional[_CellChoice]]] = field(repr=False)
     tmps: List[List[Optional[Matrix]]] = field(repr=False)
     generation_time: float = 0.0
+    #: ``False`` when the per-request deadline (``options.deadline_s``)
+    #: expired mid-solve: the tables hold the best-so-far state and cells
+    #: past the cutoff were never evaluated.
+    complete: bool = True
 
     # ------------------------------------------------------------------ info
     @property
@@ -191,10 +215,7 @@ class GMCSolution:
         if i == j:
             return
         if not self.computable:
-            raise UncomputableChainError(
-                f"no kernel sequence computes {self.expression} with catalog "
-                f"{self.catalog.name}"
-            )
+            raise UncomputableChainError(_uncomputable_message(self))
         choice = self.choices[i][j]
         if choice is None:  # pragma: no cover - guarded by ``computable``
             raise UncomputableChainError(f"sub-chain M[{i}..{j}] is not computable")
@@ -326,10 +347,7 @@ class GMCAlgorithm:
         """
         solution = self.solve(chain)
         if not solution.computable:
-            raise UncomputableChainError(
-                f"no kernel sequence computes {solution.expression} with catalog "
-                f"{self.catalog.name}"
-            )
+            raise UncomputableChainError(_uncomputable_message(solution))
         return solution.program(strategy_name)
 
     # ------------------------------------------------------------ internals
@@ -353,8 +371,23 @@ class GMCAlgorithm:
             tmps[i][i] = factor  # type: ignore[assignment]
 
         prune = self.prune
+        deadline = (
+            None
+            if self.deadline_s is None
+            else time.monotonic() + self.deadline_s
+        )
+        complete = True
         for length in range(1, n):
+            if not complete:
+                break
             for i in range(0, n - length):
+                # Deadline enforcement (``options.deadline_s``): checked at
+                # every cell boundary, so an expired budget abandons the
+                # remaining cells and returns the best-so-far tables marked
+                # ``complete=False`` instead of silently ignoring the budget.
+                if deadline is not None and time.monotonic() > deadline:
+                    complete = False
+                    break
                 j = i + length
                 best_cost = costs[i][j]
                 best_choice: Optional[_CellChoice] = None
@@ -414,6 +447,7 @@ class GMCAlgorithm:
             splits=splits,
             choices=choices,
             tmps=tmps,
+            complete=complete,
         )
 
     def _best_kernel(

@@ -18,6 +18,7 @@ only differ in traversal order, never in modelling.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
@@ -30,7 +31,14 @@ from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Kernel, KernelCall, Program
 from ..matching.patterns import Substitution
 from ..options import CompileOptions
-from .gmc import _UNSET, ChainLike, UncomputableChainError, _coerce_chain, coerce_solver_options
+from .gmc import (
+    _UNSET,
+    ChainLike,
+    UncomputableChainError,
+    _coerce_chain,
+    _uncomputable_message,
+    coerce_solver_options,
+)
 
 
 @dataclass
@@ -59,6 +67,9 @@ class TopDownSolution:
     metric: CostMetric
     catalog: KernelCatalog
     table: Dict[Tuple[int, int], _SubChain]
+    #: ``False`` when the per-request deadline expired mid-solve (the table
+    #: holds the best-so-far exploration state).
+    complete: bool = True
 
     @property
     def length(self) -> int:
@@ -89,10 +100,7 @@ class TopDownSolution:
         if i == j:
             return
         if not self.computable:
-            raise UncomputableChainError(
-                f"no kernel sequence computes {self.expression} with catalog "
-                f"{self.catalog.name}"
-            )
+            raise UncomputableChainError(_uncomputable_message(self))
         cell = self.table[(i, j)]
         yield from self.construct_solution(i, cell.split)
         yield from self.construct_solution(cell.split + 1, j)
@@ -172,6 +180,12 @@ class TopDownGMC:
         factors = tuple(intern(factor) for factor in factors)
         table: Dict[Tuple[int, int], _SubChain] = {}
         operands: Dict[Tuple[int, int], Matrix] = {}
+        deadline = (
+            None
+            if self.deadline_s is None
+            else time.monotonic() + self.deadline_s
+        )
+        state = {"expired": False}
 
         def operand_for(i: int, j: int) -> Matrix:
             """The symbolic operand representing M[i..j] (leaf or temporary)."""
@@ -206,6 +220,15 @@ class TopDownGMC:
                 operand=None,
             )
             for k in range(i, j):
+                # Deadline enforcement (``options.deadline_s``): checked at
+                # every cell boundary of the memoized recursion; once the
+                # budget expires every in-flight cell keeps its best-so-far
+                # decision and no further split is explored.
+                if state["expired"]:
+                    break
+                if deadline is not None and time.monotonic() > deadline:
+                    state["expired"] = True
+                    break
                 left_cost = lookup(i, k)
                 right_cost = lookup(k + 1, j)
                 # Uncomputability propagation: dead sub-chains never reach
@@ -247,6 +270,7 @@ class TopDownGMC:
             metric=self.metric,
             catalog=self.catalog,
             table=table,
+            complete=not state["expired"],
         )
 
     def _best_kernel(

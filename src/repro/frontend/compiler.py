@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Union
 
@@ -38,6 +39,7 @@ from ..cost.metrics import CostMetric, resolve_metric
 from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Program
 from ..options import CompileOptions, warn_legacy
+from ..persist.plan_cache import PlanCache
 from ..telemetry import reset as _telemetry_reset
 from ..telemetry import snapshot as _telemetry_snapshot
 
@@ -225,6 +227,9 @@ class Compiler:
         #: Live metric instances keyed by metric name; reusing one instance
         #: across compilations is what keeps its kernel-cost LRU warm.
         self._metrics: Dict[str, CostMetric] = {}
+        #: Whole-plan cache consulted before dispatching to a solver
+        #: (:mod:`repro.persist`); bound to the session's catalog.
+        self.plan_cache: PlanCache = PlanCache(self.catalog)
 
     # ----------------------------------------------------------- resolution
     def _effective_options(
@@ -302,15 +307,44 @@ class Compiler:
         Strings are parsed with the Fig. 1/2 grammar; expressions become a
         single anonymous assignment (target ``X``).  Returns a
         :class:`CompilationResult` carrying the effective options.
+
+        When ``options.plan_cache`` is on (the default), each assignment
+        first consults the session's :class:`~repro.persist.PlanCache`: a
+        signature-equal chain solved before under the same options
+        fingerprint skips the dynamic program entirely and re-binds the
+        cached plan to this request's operands.  Fresh solves (complete,
+        computable ones) are stored back.
         """
-        effective = self._effective_options(options, overrides)
+        requested = options if options is not None else self.options
+        if overrides:
+            requested = requested.replace(**overrides)
+        effective = self._effective_options(requested, {})
         program = self._coerce_program(problem)
-        solver = make_solver(effective)
         result = CompilationResult(
             operands=dict(program.operands), options=effective
         )
+        use_plan_cache = requested.plan_cache
+        solver = None  # built on the first plan-cache miss
         for target, expression in program.assignments:
-            solution = solver.solve(expression)
+            solution = None
+            if use_plan_cache:
+                started = time.perf_counter()
+                solution = self.plan_cache.lookup(
+                    expression, requested, metric=effective.metric
+                )
+                if solution is not None:
+                    # Materialize the rebinding (temporaries, inference,
+                    # kernel costs) inside the timing window, so the
+                    # reported generation time is the cached solve's real
+                    # cost, not just the dict lookup.
+                    solution.kernel_calls()
+                    solution.generation_time = time.perf_counter() - started
+            if solution is None:
+                if solver is None:
+                    solver = make_solver(effective)
+                solution = solver.solve(expression)
+                if use_plan_cache:
+                    self.plan_cache.store(expression, requested, solution)
             kernel_program = solution.program(strategy_name=f"GMC[{target}]")
             result.add(
                 CompiledAssignment(
@@ -351,12 +385,15 @@ class Compiler:
     # ------------------------------------------------------------ telemetry
     def cache_stats(self) -> Dict[str, dict]:
         """Per-layer cache counters of this session (uniform stats protocol:
-        match cache, interner, inference memo, kernel-cost LRUs)."""
-        return _telemetry_snapshot(self.catalog, self._metrics)
+        plan cache, match cache, interner, inference memo, kernel-cost
+        LRUs)."""
+        return _telemetry_snapshot(
+            self.catalog, self._metrics, plan_cache=self.plan_cache
+        )
 
     def reset_cache_stats(self) -> None:
         """Zero every cache counter the session can see."""
-        _telemetry_reset(self.catalog, self._metrics)
+        _telemetry_reset(self.catalog, self._metrics, plan_cache=self.plan_cache)
 
 
 # ---------------------------------------------------------------------------
@@ -496,7 +533,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         action="store_true",
         help="serve synchronously in this process (no worker processes)",
     )
+    serve_group.add_argument(
+        "--snapshot-dir",
+        default=None,
+        help=(
+            "directory for plan-/match-cache snapshots: workers load it at "
+            "boot (warm start) and persist on shutdown or POST /snapshot"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.snapshot_dir and not args.serve:
+        parser.error("--snapshot-dir requires --serve")
     if args.serve:
         # Pipeline flags configure ONE compilation; service requests each
         # carry their own complete CompileOptions on the wire, so server-wide
@@ -522,7 +569,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ..service.http import run_server
         from ..service.pool import create_executor
 
-        executor = create_executor(workers=args.workers, in_process=args.in_process)
+        executor = create_executor(
+            workers=args.workers,
+            in_process=args.in_process,
+            snapshot_dir=args.snapshot_dir,
+        )
         return run_server(executor, host=args.host, port=args.port)
     if args.source:
         with open(args.source, "r", encoding="utf-8") as handle:

@@ -79,6 +79,16 @@ class KernelCatalog:
 
     # -------------------------------------------------------------- matching
     @property
+    def net(self) -> DiscriminationNet:
+        """The discrimination net over this catalog's patterns.
+
+        Exposed for the cache layers that version-watch it (the match cache
+        and the plan cache of :mod:`repro.persist`): ``net.version`` moves on
+        every pattern insertion, which is their invalidation signal.
+        """
+        return self._net
+
+    @property
     def match_cache(self) -> MatchCache:
         """The signature-keyed cache serving :meth:`match` (for stats/reset)."""
         return self._match_cache

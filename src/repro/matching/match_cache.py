@@ -145,6 +145,41 @@ class MatchCache:
         self._registry_version = registry_version()
         self._registry_custom = registry_is_customized()
 
+    # --------------------------------------------------------------- snapshot
+    def export_entries(self) -> List[Tuple[Tuple, List[_CachedMatch]]]:
+        """All cached entries as ``(signature, matches)`` pairs (LRU order).
+
+        Used by :mod:`repro.persist.snapshot` to persist the cache; payloads
+        are the live kernel objects (the snapshot layer maps them to ids).
+        """
+        return [(signature, list(entries)) for signature, entries in self._entries.items()]
+
+    def import_entries(self, items) -> int:
+        """Insert snapshot entries for keys not already cached.
+
+        The caller (:mod:`repro.persist.snapshot`) validates that the
+        snapshot's net/registry versions match this process before calling;
+        warm in-memory entries are never overwritten.  Exports are
+        LRU-ordered oldest-first; when capacity runs short the *newest*
+        (most recently used) entries win, whatever the cache already
+        holds.  Returns the number of entries inserted.
+        """
+        if self._registry_version != registry_version() or (
+            self._net_version != self._net.version
+        ):
+            self.clear()
+        capacity = self.max_entries - len(self._entries)
+        selected = []
+        for signature, entries in reversed(list(items)):
+            if len(selected) >= capacity:
+                break
+            if signature not in self._entries:
+                selected.append((signature, entries))
+        # Insert oldest-first so the imported slice keeps its LRU order.
+        for signature, entries in reversed(selected):
+            self._entries.setdefault(signature, list(entries))
+        return len(selected)
+
     # ------------------------------------------------------------------ lookup
     def match(self, subject: Expression) -> List[Tuple[object, Substitution]]:
         """All ``(payload, substitution)`` pairs matching *subject*.

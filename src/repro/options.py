@@ -13,10 +13,13 @@ process-global toggles.  The options object names:
   :class:`~repro.cost.metrics.CostMetric` instance),
 * the **kernel catalog** (``None`` selects the shared default catalog),
 * the DP **split pruning** and the signature-keyed **match cache** toggles,
+* the signature-keyed whole-**plan cache** toggle (``plan_cache``; see
+  :mod:`repro.persist.plan_cache`),
 * the **emit** targets (names registered with
   :func:`repro.codegen.register_emitter`),
-* a per-request **deadline budget** placeholder (``deadline_s``; validated
-  and threaded through, enforcement is a ROADMAP item), and
+* a per-request **deadline budget** (``deadline_s``; enforced at DP cell
+  boundaries -- expiring returns the best-so-far solution marked
+  ``complete=False``), and
 * the kernel-cost **cache sizing** (``cost_cache_size``).
 
 Options are validated eagerly at construction, are immutable (derive
@@ -51,6 +54,7 @@ _WIRE_KEYS = (
     "emit",
     "prune",
     "match_cache",
+    "plan_cache",
     "deadline_s",
     "cost_cache_size",
 )
@@ -112,10 +116,14 @@ class CompileOptions:
     prune: bool = True
     #: Serve ``catalog.match`` through the signature-keyed match cache.
     match_cache: bool = True
+    #: Consult the session's whole-plan cache (:mod:`repro.persist`) before
+    #: dispatching to a solver; a hit skips the entire dynamic program.
+    plan_cache: bool = True
     #: Code emitters to run, by registered name (``"julia"``, ``"numpy"``).
     emit: Tuple[str, ...] = ()
-    #: Per-request time budget in seconds (placeholder: validated and
-    #: carried by solvers; enforcement inside the DP loop is a ROADMAP item).
+    #: Per-request time budget in seconds: the DP loops check it at cell
+    #: boundaries and return the best-so-far solution with
+    #: ``complete=False`` once it expires.
     deadline_s: Optional[float] = None
     #: Override for the per-metric kernel-cost LRU capacity.
     cost_cache_size: Optional[int] = None
@@ -203,6 +211,7 @@ class CompileOptions:
             "emit": list(self.emit),
             "prune": self.prune,
             "match_cache": self.match_cache,
+            "plan_cache": self.plan_cache,
         }
         if self.deadline_s is not None:
             payload["deadline_s"] = self.deadline_s
@@ -234,6 +243,7 @@ class CompileOptions:
             emit=tuple(payload.get("emit", ())),
             prune=wire_bool("prune"),
             match_cache=wire_bool("match_cache"),
+            plan_cache=wire_bool("plan_cache"),
             deadline_s=None if deadline is None else float(deadline),
             cost_cache_size=None if cache_size is None else int(cache_size),
         )

@@ -14,10 +14,12 @@ long-running, concurrent service:
 * :mod:`repro.service.http` -- stdlib HTTP front-end (``POST /compile``,
   ``POST /batch``, ``GET /stats``, ``GET /healthz``), wired into the CLI
   as ``python -m repro.frontend --serve``;
-* :mod:`repro.telemetry` -- unified snapshot/aggregation of the four cache
-  layers (match cache, interner, inference memo, kernel-cost LRU); it has
-  no service dependencies and lives at the package root
-  (``repro.service.telemetry`` remains as a compatibility alias).
+* :mod:`repro.telemetry` -- unified snapshot/aggregation of the five cache
+  layers (plan cache, match cache, interner, inference memo, kernel-cost
+  LRU); it has no service dependencies and lives at the package root
+  (``repro.service.telemetry`` remains as a compatibility alias);
+* :mod:`repro.persist` -- plan-cache/match-cache snapshots backing warm
+  worker boot (``--snapshot-dir`` / ``POST /snapshot``).
 """
 
 from ..options import CompileOptions
@@ -29,13 +31,14 @@ from .api import (
     affinity_key,
     execute_request,
 )
-from .pool import InProcessExecutor, WorkerPool, create_executor
+from .pool import InProcessExecutor, PoolSaturatedError, WorkerPool, create_executor
 
 __all__ = [
     "AssignmentResult",
     "CompileOptions",
     "CompileRequest",
     "CompileResponse",
+    "PoolSaturatedError",
     "RequestError",
     "affinity_key",
     "execute_request",

@@ -230,6 +230,9 @@ class AssignmentResult:
     flops: float
     generation_time_s: float
     code: Dict[str, str] = field(default_factory=dict)
+    #: ``False`` when the solver's per-request deadline expired and the
+    #: plan is the best-so-far rather than the proven optimum.
+    complete: bool = True
 
     def to_dict(self) -> dict:
         return {
@@ -241,6 +244,7 @@ class AssignmentResult:
             "flops": self.flops,
             "generation_time_s": self.generation_time_s,
             "code": dict(self.code),
+            "complete": self.complete,
         }
 
     @classmethod
@@ -254,6 +258,7 @@ class AssignmentResult:
             flops=payload["flops"],
             generation_time_s=payload["generation_time_s"],
             code=dict(payload.get("code", {})),
+            complete=bool(payload.get("complete", True)),
         )
 
 
@@ -372,6 +377,7 @@ def execute_request(
                     flops=entry.program.total_flops,
                     generation_time_s=getattr(entry.solution, "generation_time", 0.0),
                     code=code,
+                    complete=bool(getattr(entry.solution, "complete", True)),
                 )
             )
         solve_s = time.perf_counter() - solve_started

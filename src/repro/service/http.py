@@ -14,7 +14,14 @@ Endpoints (all JSON):
 ``POST /batch``
     body: ``{"requests": [<request>, ...]}``.  Always 200 when the batch is
     well-formed; per-request failures are flagged by ``ok`` inside
-    ``{"responses": [...], "count": N, "failed": M}``.
+    ``{"responses": [...], "count": N, "failed": M}``.  When the executor's
+    per-worker in-flight bound would be exceeded (backpressure), the whole
+    batch -- and likewise a single ``/compile`` -- is rejected with ``429``
+    and a ``Retry-After`` header instead of queueing without limit.
+``POST /snapshot``
+    persist the executor's cache state (plan cache + match cache) to the
+    configured ``--snapshot-dir`` (:mod:`repro.persist.snapshot`); 200 with
+    the write metadata, 409 when no snapshot directory is configured.
 ``GET /stats``
     pooled cache telemetry (see :mod:`repro.service.telemetry`): per-layer
     hit rates, occupancy and eviction counts, per worker and fleet-wide.
@@ -32,12 +39,14 @@ use port 0 to get an ephemeral port).
 from __future__ import annotations
 
 import json
+import math
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlparse
 
 from .api import CompileRequest, RequestError
+from .pool import PoolSaturatedError
 
 __all__ = ["ServiceHTTPServer", "start_server", "run_server"]
 
@@ -65,11 +74,15 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
     def log_message(self, format: str, *args) -> None:  # noqa: A002
         pass  # keep test/CI output clean; the CLI prints its own banner
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(
+        self, status: int, payload: dict, extra_headers: Optional[dict] = None
+    ) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -78,6 +91,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         if length <= 0:
             raise RequestError("missing request body")
         if length > MAX_BODY_BYTES:
+            # The oversized body is never read; close the keep-alive
+            # connection after the 400 so the bytes cannot corrupt the
+            # next request on the socket.
+            self.close_connection = True
             raise RequestError(f"request body exceeds {MAX_BODY_BYTES} bytes")
         raw = self.rfile.read(length)
         try:
@@ -105,6 +122,30 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         path = urlparse(self.path).path
         executor = self.server.executor
         try:
+            if path == "/snapshot":
+                # No body required: the snapshot target is server-side
+                # configuration (--snapshot-dir), not request data.  Any
+                # body a client does send must still be drained -- the
+                # connection is keep-alive (HTTP/1.1), and unread bytes
+                # would be parsed as the start of the next request.
+                length = int(self.headers.get("Content-Length", 0) or 0)
+                if length > MAX_BODY_BYTES:
+                    # Too large to drain: drop the connection after the
+                    # error response instead of leaving unread bytes.
+                    self.close_connection = True
+                    raise RequestError(
+                        f"request body exceeds {MAX_BODY_BYTES} bytes"
+                    )
+                if length > 0:
+                    self.rfile.read(length)
+                if getattr(executor, "snapshot_dir", None) is None:
+                    self._send_json(
+                        409,
+                        {"error": "no snapshot directory configured (--snapshot-dir)"},
+                    )
+                else:
+                    self._send_json(200, executor.save_snapshot())
+                return
             payload = self._read_json()
             if path == "/compile":
                 request = CompileRequest.from_dict(payload)
@@ -129,6 +170,13 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
+        except PoolSaturatedError as exc:
+            retry_after = max(1, math.ceil(exc.retry_after))
+            self._send_json(
+                429,
+                {"error": str(exc), "retry_after": retry_after},
+                extra_headers={"Retry-After": str(retry_after)},
+            )
         except RequestError as exc:
             self._send_json(400, {"error": str(exc)})
         except Exception as exc:  # noqa: BLE001 -- never drop the connection

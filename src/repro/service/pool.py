@@ -19,14 +19,27 @@ process -- no subprocesses, deterministic, used by tier-1 tests and as the
 :class:`WorkerPool` owns N persistent worker *processes*.  Each worker
 builds the default kernel catalog once and keeps every cache layer warm
 across requests: the expression interner, the property-inference memo, the
-signature-keyed match cache and one kernel-cost LRU per metric.  Requests
-are routed by **affinity**: structurally similar chains share their
-name-abstracted signature (:func:`repro.service.api.affinity_key`) and land
-on the same worker, whose match cache is already warm for them.  A worker
-that dies (crash, OOM kill) is transparently restarted and its in-flight
-requests are resubmitted, up to ``max_retries`` per request; requests that
-keep killing workers come back as ``ok=False`` responses instead of hanging
-the caller.
+signature-keyed match cache, the whole-plan cache and one kernel-cost LRU
+per metric.  Requests are routed by **affinity**: structurally similar
+chains share their name-abstracted signature
+(:func:`repro.service.api.affinity_key`) and land on the same worker, whose
+match cache is already warm for them.  A worker that dies (crash, OOM kill)
+is transparently restarted and its in-flight requests are resubmitted, up
+to ``max_retries`` per request; requests that keep killing workers come
+back as ``ok=False`` responses instead of hanging the caller.
+
+**Warm boot**: when a ``snapshot_dir`` is configured, every worker loads
+the directory's cache snapshot (:mod:`repro.persist.snapshot`) at boot --
+so a restarted pool answers its first signature-equal request from the
+plan cache -- and the pool persists a merged snapshot of all workers on
+shutdown (and on demand via :meth:`WorkerPool.save_snapshot`, the backing
+of ``POST /snapshot``).  A stale or corrupt snapshot is reported in
+``stats()`` and simply boots cold.
+
+**Backpressure**: each worker's in-flight request count is bounded
+(``max_inflight_per_worker``); dispatching beyond the bound raises
+:class:`PoolSaturatedError`, which the HTTP front-end maps to ``429`` with
+a ``Retry-After`` hint, instead of growing the inbox queues without limit.
 
 Wire format: plain dicts (``CompileRequest.to_dict`` /
 ``CompileResponse.to_dict``) travel over the queues, so workers never
@@ -41,18 +54,47 @@ import multiprocessing
 import os
 import threading
 import time
+from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
 from ..frontend.compiler import Compiler
 from ..kernels.catalog import KernelCatalog
 from ..options import CompileOptions
+from ..persist.snapshot import (
+    capture_state,
+    load_snapshot,
+    merge_states,
+    snapshot_path,
+    write_snapshot,
+)
 from .. import telemetry
 from .api import CompileRequest, CompileResponse, affinity_key, execute_request
 
-__all__ = ["InProcessExecutor", "WorkerPool", "create_executor"]
+__all__ = [
+    "PoolSaturatedError",
+    "InProcessExecutor",
+    "WorkerPool",
+    "create_executor",
+]
 
 #: Seconds between liveness checks while a caller waits for a response.
 _POLL_INTERVAL = 0.05
+
+#: Default bound on in-flight requests per worker (and for the in-process
+#: executor as a whole) before :class:`PoolSaturatedError` pushes back.
+DEFAULT_MAX_INFLIGHT = 64
+
+
+class PoolSaturatedError(RuntimeError):
+    """Raised when dispatching would exceed the in-flight request bound.
+
+    ``retry_after`` is the back-off hint (seconds) the HTTP front-end
+    forwards as the ``Retry-After`` header of its ``429`` response.
+    """
+
+    def __init__(self, message: str, retry_after: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 # ---------------------------------------------------------------------------
@@ -68,18 +110,37 @@ class InProcessExecutor:
     process overhead for tests and small deployments.
     """
 
-    def __init__(self, catalog: Optional[KernelCatalog] = None) -> None:
+    def __init__(
+        self,
+        catalog: Optional[KernelCatalog] = None,
+        snapshot_dir=None,
+        max_inflight: int = DEFAULT_MAX_INFLIGHT,
+    ) -> None:
         #: The warm compilation session shared by every request.
         self.compiler = Compiler(CompileOptions(catalog=catalog))
         self._lock = threading.Lock()
+        self._gate = threading.Lock()
+        self._pending = 0
+        self.max_inflight = max_inflight
         self.requests_served = 0
         self.errors = 0
+        self.rejections = 0
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        #: Boot-time snapshot load result (``None`` without a snapshot dir).
+        self.snapshot_load: Optional[dict] = None
+        if self.snapshot_dir is not None:
+            self.snapshot_load = load_snapshot(
+                snapshot_path(self.snapshot_dir),
+                self.compiler.plan_cache,
+                self.compiler.catalog,
+            )
 
     @property
     def workers(self) -> int:
         return 0
 
-    def submit(self, request: CompileRequest, timeout: Optional[float] = None) -> CompileResponse:
+    def _execute(self, request: CompileRequest) -> CompileResponse:
+        """Run one request on the shared session (serialized, counted)."""
         with self._lock:
             response = execute_request(request, compiler=self.compiler)
             self.requests_served += 1
@@ -87,10 +148,38 @@ class InProcessExecutor:
                 self.errors += 1
             return response
 
+    def _reserve(self, count: int) -> None:
+        """Claim *count* in-flight slots or raise (all-or-nothing)."""
+        with self._gate:
+            if self._pending + count > self.max_inflight:
+                self.rejections += 1
+                raise PoolSaturatedError(
+                    f"{count} request(s) would exceed the in-flight bound "
+                    f"({self._pending} pending, bound {self.max_inflight})"
+                )
+            self._pending += count
+
+    def submit(self, request: CompileRequest, timeout: Optional[float] = None) -> CompileResponse:
+        self._reserve(1)
+        try:
+            return self._execute(request)
+        finally:
+            with self._gate:
+                self._pending -= 1
+
     def compile_batch(
         self, requests: Sequence[CompileRequest], timeout: Optional[float] = None
     ) -> List[CompileResponse]:
-        return [self.submit(request) for request in requests]
+        # All-or-nothing reservation (mirrors WorkerPool): a batch that
+        # would overflow the in-flight bound is rejected before anything
+        # executes, never half-executed-then-429'd.
+        count = len(requests)
+        self._reserve(count)
+        try:
+            return [self._execute(request) for request in requests]
+        finally:
+            with self._gate:
+                self._pending -= count
 
     def stats(self) -> dict:
         with self._lock:
@@ -103,10 +192,18 @@ class InProcessExecutor:
                 "requests": self.requests_served,
                 "errors": self.errors,
                 "restarts": 0,
+                "rejections": self.rejections,
+                "max_inflight_per_worker": self.max_inflight,
             },
             "caches": pooled,
+            "snapshot": self.snapshot_load,
             "per_worker": [
-                {"worker": None, "requests": self.requests_served, "caches": caches}
+                {
+                    "worker": None,
+                    "requests": self.requests_served,
+                    "caches": caches,
+                    "snapshot": self.snapshot_load,
+                }
             ],
         }
 
@@ -115,12 +212,25 @@ class InProcessExecutor:
             self.compiler.reset_cache_stats()
             self.requests_served = 0
             self.errors = 0
+            self.rejections = 0
 
     def ping(self) -> dict:
         return {"status": "ok", "mode": "in-process", "workers": 0, "alive": 0}
 
+    def save_snapshot(self) -> dict:
+        """Persist the session's caches to the configured snapshot dir."""
+        if self.snapshot_dir is None:
+            raise RuntimeError("no snapshot directory configured")
+        with self._lock:
+            state = capture_state(self.compiler.plan_cache, self.compiler.catalog)
+        return write_snapshot(snapshot_path(self.snapshot_dir), state)
+
     def close(self) -> None:
-        pass
+        if self.snapshot_dir is not None:
+            try:
+                self.save_snapshot()
+            except Exception:  # noqa: BLE001 -- shutdown must not fail on I/O
+                pass
 
     def __enter__(self) -> "InProcessExecutor":
         return self
@@ -133,17 +243,25 @@ class InProcessExecutor:
 # Worker process main loop.
 # ---------------------------------------------------------------------------
 
-def _worker_main(worker_id: int, inbox, outbox) -> None:
+def _worker_main(worker_id: int, inbox, outbox, snapshot_file=None) -> None:
     """Serve requests until shutdown; every cache stays warm in between.
 
     Each worker holds one :class:`~repro.frontend.compiler.Compiler`
     session: the session owns the catalog and the per-metric cost LRUs, and
     with them every cache layer that makes repeated structurally similar
-    requests cheap.  Messages are ``(kind, token, payload)`` tuples; every
-    message except ``shutdown``/``crash`` is answered with ``(token,
-    payload)`` on *outbox*.
+    requests cheap.  With a *snapshot_file*, the worker boots warm by
+    loading the plan-cache/match-cache snapshot into the fresh session
+    (stale/corrupt snapshots boot cold, reported via ``stats``).  Messages
+    are ``(kind, token, payload)`` tuples; every message except
+    ``shutdown``/``crash`` is answered with ``(token, payload)`` on
+    *outbox*.
     """
     compiler = Compiler()
+    snapshot_load = None
+    if snapshot_file is not None:
+        snapshot_load = load_snapshot(
+            snapshot_file, compiler.plan_cache, compiler.catalog
+        )
     served = 0
     failed = 0
     while True:
@@ -179,9 +297,16 @@ def _worker_main(worker_id: int, inbox, outbox) -> None:
                         "requests": served,
                         "errors": failed,
                         "caches": compiler.cache_stats(),
+                        "snapshot": snapshot_load,
                     },
                 )
             )
+        elif kind == "export_snapshot":
+            try:
+                payload = capture_state(compiler.plan_cache, compiler.catalog)
+            except Exception as exc:  # noqa: BLE001 -- never kill the loop
+                payload = {"error": f"{type(exc).__name__}: {exc}"}
+            outbox.put((token, payload))
         elif kind == "reset_stats":
             compiler.reset_cache_stats()
             served = 0
@@ -206,6 +331,8 @@ class WorkerPool:
         start_method: Optional[str] = None,
         request_timeout: float = 300.0,
         max_retries: int = 2,
+        snapshot_dir=None,
+        max_inflight_per_worker: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
         count = workers if workers and workers > 0 else min(4, os.cpu_count() or 1)
         if start_method is None:
@@ -215,8 +342,14 @@ class WorkerPool:
         self.start_method = start_method
         self.request_timeout = request_timeout
         self.max_retries = max_retries
+        self.snapshot_dir = Path(snapshot_dir) if snapshot_dir else None
+        self.max_inflight_per_worker = max_inflight_per_worker
         self.restarts = 0
         self.batches = 0
+        self.rejections = 0
+        #: In-flight *request* count per worker (the backpressure signal;
+        #: control messages -- stats/ping/snapshot -- are never counted).
+        self._request_load = [0] * count
 
         self._inboxes = [self._ctx.Queue() for _ in range(count)]
         self._outbox = self._ctx.Queue()
@@ -228,6 +361,7 @@ class WorkerPool:
         #: token -> [worker_index, kind, payload, retries] for in-flight work.
         self._inflight: Dict[int, list] = {}
         self._closed = False
+        self._closing = False
 
         for index in range(count):
             self._spawn(index)
@@ -242,9 +376,14 @@ class WorkerPool:
         return len(self._procs)
 
     def _spawn(self, index: int) -> None:
+        snapshot_file = (
+            str(snapshot_path(self.snapshot_dir))
+            if self.snapshot_dir is not None
+            else None
+        )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(index, self._inboxes[index], self._outbox),
+            args=(index, self._inboxes[index], self._outbox, snapshot_file),
             name=f"repro-service-worker-{index}",
             daemon=True,
         )
@@ -252,10 +391,23 @@ class WorkerPool:
         self._procs[index] = proc
 
     def close(self) -> None:
-        """Shut every worker down and stop the collector."""
+        """Shut every worker down and stop the collector.
+
+        With a snapshot directory configured, the merged cache state of all
+        workers is persisted first, so the next boot starts warm.  Repeated
+        calls are no-ops -- the closing flag is claimed before the snapshot
+        save, so a second close never dispatches to already-dead workers.
+        """
         with self._lock:
-            if self._closed:
+            if self._closed or self._closing:
                 return
+            self._closing = True
+        if self.snapshot_dir is not None:
+            try:
+                self.save_snapshot()
+            except Exception:  # noqa: BLE001 -- shutdown must not fail on I/O
+                pass
+        with self._lock:
             self._closed = True
         for inbox in self._inboxes:
             try:
@@ -303,9 +455,40 @@ class WorkerPool:
                     # Late or duplicate delivery (timed-out waiter, or a
                     # request that ran twice around a crash): drop it.
                     continue
-                self._inflight.pop(token, None)
+                self._release(self._inflight.pop(token, None))
                 self._results[token] = payload
             event.set()
+
+    def _release(self, entry) -> None:
+        """Drop an in-flight entry's backpressure reservation (lock held)."""
+        if entry is not None and entry[1] == "request":
+            self._request_load[entry[0]] -= 1
+
+    def _reserve(self, indices: Sequence[int]) -> None:
+        """Reserve in-flight slots on every worker in *indices*, atomically.
+
+        All-or-nothing: a batch whose demand would push any worker past
+        ``max_inflight_per_worker`` is rejected as a whole (no partial
+        dispatch), which is what lets ``POST /batch`` answer 429 instead of
+        returning a half-completed batch.
+        """
+        demand: Dict[int, int] = {}
+        for index in indices:
+            demand[index] = demand.get(index, 0) + 1
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("worker pool is closed")
+            for index, extra in demand.items():
+                load = self._request_load[index]
+                if load + extra > self.max_inflight_per_worker:
+                    self.rejections += 1
+                    raise PoolSaturatedError(
+                        f"worker {index} would exceed its in-flight bound "
+                        f"({load} queued + {extra} new > "
+                        f"{self.max_inflight_per_worker})"
+                    )
+            for index, extra in demand.items():
+                self._request_load[index] += extra
 
     def _dispatch(self, index: int, kind: str, payload) -> int:
         token = next(self._tokens)
@@ -335,6 +518,7 @@ class WorkerPool:
                     entry[3] += 1
                     if entry[3] > self.max_retries:
                         del self._inflight[token]
+                        self._release(entry)
                         self._results[token] = self._failure_payload(entry)
                         event = self._events.get(token)
                         if event is not None:
@@ -370,6 +554,7 @@ class WorkerPool:
                 with self._lock:
                     self._events.pop(token, None)
                     entry = self._inflight.pop(token, None)
+                    self._release(entry)
                     self._results.pop(token, None)
                 return self._timeout_payload(token, entry)
         with self._lock:
@@ -403,7 +588,9 @@ class WorkerPool:
     def submit(
         self, request: CompileRequest, timeout: Optional[float] = None
     ) -> CompileResponse:
-        token = self._dispatch(self.worker_for(request), "request", request.to_dict())
+        index = self.worker_for(request)
+        self._reserve([index])
+        token = self._dispatch(index, "request", request.to_dict())
         return CompileResponse.from_dict(self._wait(token, timeout))
 
     def compile_batch(
@@ -413,13 +600,17 @@ class WorkerPool:
 
         All requests are dispatched before any response is awaited, so the
         batch spreads over every worker the affinity map names; responses
-        come back in submission order.
+        come back in submission order.  A batch that would overflow any
+        worker's in-flight bound raises :class:`PoolSaturatedError` before
+        dispatching anything.
         """
+        indices = [self.worker_for(request) for request in requests]
+        self._reserve(indices)
         with self._lock:
             self.batches += 1
         tokens = [
-            self._dispatch(self.worker_for(request), "request", request.to_dict())
-            for request in requests
+            self._dispatch(index, "request", request.to_dict())
+            for index, request in zip(indices, requests)
         ]
         return [
             CompileResponse.from_dict(self._wait(token, timeout)) for token in tokens
@@ -437,6 +628,8 @@ class WorkerPool:
             if isinstance(entry, dict) and "caches" in entry
         ]
         pooled = telemetry.aggregate([entry["caches"] for entry in usable])
+        snapshots = [entry.get("snapshot") for entry in usable]
+        loaded = [snap for snap in snapshots if snap and snap.get("loaded")]
         return {
             "mode": "pool",
             "workers": self.workers,
@@ -446,10 +639,43 @@ class WorkerPool:
                 "errors": sum(entry.get("errors", 0) for entry in usable),
                 "restarts": self.restarts,
                 "batches": self.batches,
+                "rejections": self.rejections,
+                "max_inflight_per_worker": self.max_inflight_per_worker,
             },
             "caches": pooled,
+            "snapshot": {
+                "dir": str(self.snapshot_dir) if self.snapshot_dir else None,
+                "workers_loaded": len(loaded),
+                "workers_cold": len(snapshots) - len(loaded),
+                "per_worker": snapshots,
+            },
             "per_worker": per_worker,
         }
+
+    def save_snapshot(self, timeout: float = 60.0) -> dict:
+        """Merge every worker's cache state and persist it atomically.
+
+        The backing of ``POST /snapshot``; also runs automatically on
+        :meth:`close` when a snapshot directory is configured.
+        """
+        if self.snapshot_dir is None:
+            raise RuntimeError("no snapshot directory configured")
+        tokens = [
+            self._dispatch(index, "export_snapshot", None)
+            for index in range(self.workers)
+        ]
+        states = [self._wait(token, timeout) for token in tokens]
+        usable = [
+            state
+            for state in states
+            if isinstance(state, dict) and "plan_entries" in state
+        ]
+        if not usable:
+            raise RuntimeError("no worker returned a snapshot state")
+        merged = merge_states(usable)
+        meta = write_snapshot(snapshot_path(self.snapshot_dir), merged)
+        meta["workers_exported"] = len(usable)
+        return meta
 
     def reset_stats(self, timeout: float = 30.0) -> None:
         tokens = [
@@ -488,6 +714,7 @@ class WorkerPool:
 def create_executor(
     workers: Optional[int] = None,
     in_process: bool = False,
+    snapshot_dir=None,
     **pool_options,
 ):
     """Build the right executor: a pool, or the in-process fallback.
@@ -495,8 +722,10 @@ def create_executor(
     ``in_process=True`` or ``workers=0`` selects :class:`InProcessExecutor`
     (no subprocesses -- what tier-1 tests use); anything else builds a
     :class:`WorkerPool` with *workers* processes (default: ``min(4,
-    cpu_count)``).
+    cpu_count)``).  *snapshot_dir* enables snapshot-backed warm boot for
+    either executor (load at boot, persist on shutdown / ``POST
+    /snapshot``).
     """
     if in_process or (workers is not None and workers <= 0):
-        return InProcessExecutor()
-    return WorkerPool(workers=workers, **pool_options)
+        return InProcessExecutor(snapshot_dir=snapshot_dir)
+    return WorkerPool(workers=workers, snapshot_dir=snapshot_dir, **pool_options)

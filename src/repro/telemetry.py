@@ -1,9 +1,12 @@
 """Unified cache telemetry: snapshot, reset and aggregate every cache layer.
 
-The compilation pipeline owns four caches, each of which now exposes the
+The compilation pipeline owns five caches, each of which now exposes the
 uniform ``stats()`` / ``reset_stats()`` protocol (plain dicts with ``size``,
 ``max_entries``, ``hits``, ``misses``, ``hit_rate`` and ``evictions``):
 
+* the **plan cache** of a compiler session
+  (:class:`repro.persist.plan_cache.PlanCache`) -- signature-keyed whole
+  solved plans, consulted before the dynamic program runs;
 * the **match cache** of a kernel catalog
   (:class:`repro.matching.match_cache.MatchCache`) -- signature-keyed
   kernel-match results;
@@ -38,10 +41,19 @@ from .kernels.catalog import KernelCatalog, default_catalog
 __all__ = ["CACHE_LAYERS", "snapshot", "reset", "aggregate"]
 
 #: The cache layers every snapshot reports, in display order.
-CACHE_LAYERS = ("match_cache", "interner", "inference", "kernel_cost")
+CACHE_LAYERS = ("plan_cache", "match_cache", "interner", "inference", "kernel_cost")
 
 #: Counter keys that add up across workers / metric instances.
-_SUMMED_KEYS = ("size", "max_entries", "hits", "misses", "evictions", "bypasses")
+_SUMMED_KEYS = (
+    "size",
+    "max_entries",
+    "hits",
+    "misses",
+    "evictions",
+    "bypasses",
+    "stores",
+    "restored",
+)
 
 
 def _combine(stats: Sequence[Mapping], layer: str) -> Dict[str, object]:
@@ -61,15 +73,32 @@ def _combine(stats: Sequence[Mapping], layer: str) -> Dict[str, object]:
 def snapshot(
     catalog: Optional[KernelCatalog] = None,
     metrics: Optional[Mapping[str, CostMetric]] = None,
+    plan_cache=None,
 ) -> Dict[str, dict]:
     """One process's cache counters, keyed by layer name.
 
     *catalog* defaults to :func:`default_catalog`; *metrics* is the
     executor's cache of live metric instances (their kernel-cost memos are
     combined into one ``kernel_cost`` entry, with a per-metric breakdown
-    under ``per_metric``).
+    under ``per_metric``); *plan_cache* is the session's whole-plan cache
+    (the layer reports zeros when the caller has none -- the plan cache is
+    per-session state, unlike the process-global interner/inference memos).
     """
     catalog = catalog if catalog is not None else default_catalog()
+    plan_stats = (
+        plan_cache.stats()
+        if plan_cache is not None
+        else {
+            "layer": "plan_cache",
+            "size": 0,
+            "max_entries": 0,
+            "hits": 0,
+            "misses": 0,
+            "hit_rate": 0.0,
+            "evictions": 0,
+            "bypasses": 0,
+        }
+    )
     metric_items = list((metrics or {}).items())
     metric_stats: List[dict] = [metric.stats() for _, metric in metric_items]
     kernel_cost = _combine(metric_stats, "kernel_cost")
@@ -84,6 +113,7 @@ def snapshot(
         for (cache_key, _), entry in zip(metric_items, metric_stats)
     }
     return {
+        "plan_cache": plan_stats,
         "match_cache": catalog.match_cache.stats(),
         "interner": default_interner().stats(),
         "inference": inference_engine().stats(),
@@ -94,9 +124,12 @@ def snapshot(
 def reset(
     catalog: Optional[KernelCatalog] = None,
     metrics: Optional[Mapping[str, CostMetric]] = None,
+    plan_cache=None,
 ) -> None:
     """Zero the stats counters of every layer (entries stay warm)."""
     catalog = catalog if catalog is not None else default_catalog()
+    if plan_cache is not None:
+        plan_cache.reset_stats()
     catalog.match_cache.reset_stats()
     default_interner().reset_stats()
     inference_engine().reset_stats()

@@ -250,7 +250,12 @@ class TestWorkerPool:
         assert stats["mode"] == "pool"
         assert stats["workers"] == 2
         assert stats["pool"]["requests"] == 8
-        assert stats["caches"]["match_cache"]["hit_rate"] > 0.5
+        # The plan cache answers renamed (signature-equal) requests above
+        # the solvers, so warm traffic shows up there -- the match cache
+        # underneath only ever sees cold solves (possibly none, when the
+        # pool is already warm from earlier requests in this module).
+        assert stats["caches"]["plan_cache"]["hits"] >= 7
+        assert stats["caches"]["plan_cache"]["hit_rate"] > 0.5
         assert len(stats["per_worker"]) == 2
 
     def test_worker_crash_restarts_and_recovers(self, pool):
@@ -333,8 +338,11 @@ class TestHTTP:
             {"requests": [{"source": source} for source in sources]},
         )
         _, after = _get(f"{http_service}/stats")
-        layer_before = before["caches"]["match_cache"]
-        layer_after = after["caches"]["match_cache"]
+        # Warm signature-equal traffic is answered by the plan cache (the
+        # layer above the solvers); the match cache only ever sees cold
+        # solves underneath it.
+        layer_before = before["caches"]["plan_cache"]
+        layer_after = after["caches"]["plan_cache"]
         assert layer_after["hits"] > layer_before["hits"]
         new_lookups = (
             layer_after["hits"]
