@@ -60,6 +60,16 @@ from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Kernel, KernelCall, Program
 from ..matching.patterns import Substitution
 from ..options import CompileOptions, warn_legacy
+from .parallel import (
+    DeadlineChecker,
+    DiagonalEnv,
+    WorkCounters,
+    get_backend,
+    make_decision_memo,
+    resolve_worker_count,
+    run_diagonals,
+    solver_work_telemetry,
+)
 
 #: Sentinel distinguishing "argument not passed" from explicit ``None``.
 _UNSET = object()
@@ -167,6 +177,12 @@ class GMCSolution:
     #: expired mid-solve: the tables hold the best-so-far state and cells
     #: past the cutoff were never evaluated.
     complete: bool = True
+    #: Solver work counters (see :mod:`repro.core.parallel`): DP cells whose
+    #: split loop ran to completion, split candidates skipped by the
+    #: lower-bound prune, and anti-diagonals entered.
+    cells_evaluated: int = 0
+    cells_pruned: int = 0
+    diagonals: int = 0
 
     # ------------------------------------------------------------------ info
     @property
@@ -325,6 +341,7 @@ class GMCAlgorithm:
         self.prune: bool = self.options.prune
         self.use_match_cache: bool = self.options.match_cache
         self.deadline_s = self.options.deadline_s
+        self.parallelism: str = self.options.parallelism
 
     # ------------------------------------------------------------------ API
     def solve(self, chain: ChainLike) -> GMCSolution:
@@ -370,25 +387,63 @@ class GMCAlgorithm:
         for i, factor in enumerate(factors):
             tmps[i][i] = factor  # type: ignore[assignment]
 
-        prune = self.prune
-        deadline = (
-            None
-            if self.deadline_s is None
-            else time.monotonic() + self.deadline_s
+        checker = DeadlineChecker(self.deadline_s)
+        work = WorkCounters()
+        workers = resolve_worker_count(self.parallelism)
+        if workers > 1:
+            complete = self._fill_parallel(
+                factors, n, costs, splits, choices, tmps, checker, work, workers
+            )
+        else:
+            complete = self._fill_serial(
+                factors, n, costs, splits, choices, tmps, checker, work
+            )
+        solver_work_telemetry().record(work)
+
+        return GMCSolution(
+            factors=factors,
+            expression=expression,
+            metric=metric,
+            catalog=self.catalog,
+            costs=costs,
+            splits=splits,
+            choices=choices,
+            tmps=tmps,
+            complete=complete,
+            cells_evaluated=work.cells_evaluated,
+            cells_pruned=work.cells_pruned,
+            diagonals=work.diagonals,
         )
+
+    def _fill_serial(
+        self, factors, n, costs, splits, choices, tmps, checker, work
+    ) -> bool:
+        """The serial reference loop (paper Fig. 4, exactly as before).
+
+        This path is deliberately left as the ascending-``k`` reference
+        implementation: the parallel tier (:meth:`_fill_parallel`) is
+        asserted bit-identical against it, diagonal by diagonal.
+        """
+        metric = self.metric
+        prune = self.prune
         complete = True
         for length in range(1, n):
             if not complete:
                 break
+            # Anti-diagonal ``length``: the work queue of independent cells
+            # (i, i + length); the serial tier drains it in ascending i.
+            work.diagonals += 1
             for i in range(0, n - length):
                 # Deadline enforcement (``options.deadline_s``): checked at
-                # every cell boundary, so an expired budget abandons the
+                # every cell boundary (strided clock reads, see
+                # DeadlineChecker), so an expired budget abandons the
                 # remaining cells and returns the best-so-far tables marked
                 # ``complete=False`` instead of silently ignoring the budget.
-                if deadline is not None and time.monotonic() > deadline:
+                if checker.expired():
                     complete = False
                     break
                 j = i + length
+                work.cells_evaluated += 1
                 best_cost = costs[i][j]
                 best_choice: Optional[_CellChoice] = None
                 for k in range(i, j):
@@ -404,6 +459,7 @@ class GMCAlgorithm:
                         # best-so-far, matching cannot change the outcome.
                         bound = metric.lower_bound(left_cost, right_cost)
                         if bound is not None and not bound < best_cost:
+                            work.cells_pruned += 1
                             continue
                     expr = Times(tmps[i][k], tmps[k + 1][j])
                     matched = self._best_kernel(expr)
@@ -421,33 +477,84 @@ class GMCAlgorithm:
                             kernel_cost=kernel_cost,
                         )
                 if best_choice is not None:
-                    # Properties of M[i..j] do not depend on the split, so
-                    # the temporary (and its property inference) is created
-                    # once per *computable* cell -- the O(n^2 p) refinement
-                    # of Section 3.4; dead cells never pay inference.  The
-                    # sub-chain is interned so inference memoizes per
-                    # canonical node across cells (and repeated solves).
-                    sub_chain = intern(Times(*factors[i : j + 1]))
-                    costs[i][j] = best_cost
-                    splits[i][j] = best_choice.split
-                    choices[i][j] = best_choice
-                    tmps[i][j] = Temporary(
-                        rows=sub_chain.rows,
-                        columns=sub_chain.columns,
-                        properties=infer_properties(sub_chain),
-                        origin=sub_chain,
+                    self._commit_cell(
+                        factors, costs, splits, choices, tmps, i, j, best_cost, best_choice
                     )
+        return complete
 
-        return GMCSolution(
-            factors=factors,
-            expression=expression,
-            metric=metric,
-            catalog=self.catalog,
+    def _fill_parallel(
+        self, factors, n, costs, splits, choices, tmps, checker, work, workers
+    ) -> bool:
+        """Dispatch each anti-diagonal across the parallel backend.
+
+        Cell tasks only read table state committed by previous diagonals;
+        commits happen on this thread, in ascending ``i`` order, after the
+        diagonal's queue has drained -- so the tables never hold a
+        half-written cell (see :mod:`repro.core.parallel` for why the
+        result is bit-identical to :meth:`_fill_serial`).
+        """
+
+        def operand(i: int, j: int):
+            return tmps[i][j]
+
+        def commit(i: int, j: int, entry) -> None:
+            if entry is None:
+                return
+            best_cost, k, (kernel, substitution, expr, kernel_cost) = entry
+            best_choice = _CellChoice(
+                kernel=kernel,
+                substitution=substitution,
+                expression=expr,
+                split=k,
+                kernel_cost=kernel_cost,
+            )
+            self._commit_cell(
+                factors, costs, splits, choices, tmps, i, j, best_cost, best_choice
+            )
+
+        # Memoize whole kernel decisions by split signature (sound under
+        # the same conditions as the match cache; the factory returns None
+        # otherwise, routing every split through the raw picker).
+        memo = (
+            make_decision_memo(self.catalog, self.metric, self._best_kernel)
+            if self.use_match_cache
+            else None
+        )
+
+        env = DiagonalEnv(
+            n=n,
             costs=costs,
-            splits=splits,
-            choices=choices,
-            tmps=tmps,
-            complete=complete,
+            metric=self.metric,
+            prune=self.prune,
+            best_kernel=self._best_kernel,
+            decide_pair=memo.decide_pair if memo is not None else None,
+            operand=operand,
+            commit=commit,
+        )
+        complete = run_diagonals(env, get_backend(workers), checker, work)
+        if memo is not None:
+            work.memo_hits += memo.hits
+            work.memo_misses += memo.misses
+        return complete
+
+    def _commit_cell(
+        self, factors, costs, splits, choices, tmps, i, j, best_cost, best_choice
+    ) -> None:
+        # Properties of M[i..j] do not depend on the split, so the
+        # temporary (and its property inference) is created once per
+        # *computable* cell -- the O(n^2 p) refinement of Section 3.4;
+        # dead cells never pay inference.  The sub-chain is interned so
+        # inference memoizes per canonical node across cells (and
+        # repeated solves).
+        sub_chain = intern(Times(*factors[i : j + 1]))
+        costs[i][j] = best_cost
+        splits[i][j] = best_choice.split
+        choices[i][j] = best_choice
+        tmps[i][j] = Temporary(
+            rows=sub_chain.rows,
+            columns=sub_chain.columns,
+            properties=infer_properties(sub_chain),
+            origin=sub_chain,
         )
 
     def _best_kernel(

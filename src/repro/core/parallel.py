@@ -1,0 +1,850 @@
+"""Intra-solve parallel execution backend for the DP solvers.
+
+One cold solve of a long chain is a single dynamic program whose table is
+filled anti-diagonal by anti-diagonal: all cells ``(i, j)`` with the same
+subchain length ``j - i`` only read cells of strictly shorter subchains, so
+the cells of one diagonal are mutually independent.  This module turns each
+diagonal into an explicit work queue of cell tasks and dispatches it across
+an execution backend:
+
+* :class:`SerialBackend` runs the queue in submission order in the calling
+  thread (the reference execution tier);
+* :class:`ThreadBackend` dispatches the queue across a persistent
+  :class:`~concurrent.futures.ThreadPoolExecutor`.
+
+Backends are duck-typed (``workers`` + ``run(tasks)``), so a process- or
+subinterpreter-based backend can slot in later without touching the
+solvers.
+
+Two properties make the parallel tier *bit-identical* to the serial
+reference loop of :class:`repro.core.gmc.GMCAlgorithm`:
+
+**Lexicographic cell semantics.**  The serial loop scans splits in
+ascending ``k`` and accepts strictly better costs, so the recorded choice
+is the smallest ``k`` attaining the minimal cost -- the lexicographic
+argmin of ``(cost, k)``.  The parallel evaluator preserves exactly that
+invariant regardless of evaluation order: candidates publish into a
+:class:`SharedBound` that keeps the lexicographically smallest
+``(cost, k)``, and a candidate is pruned only when its lower bound
+*strictly* exceeds the published cost, or ties it with a larger ``k``
+(either way it provably cannot change the argmin).  Cost values themselves
+are accumulated with the same ``combine(combine(left, right), kernel))``
+association as the serial loop, so floats come out bit-equal.
+
+**Bound-ordered evaluation.**  With pruning enabled, a cell's candidates
+are evaluated cheapest-lower-bound first.  Once one candidate has been
+evaluated, every remaining candidate whose bound exceeds the best cost is
+dropped in a single cut -- the same optimum is found after evaluating far
+fewer splits than the ascending-``k`` reference order.
+
+**Decision memoization.**  The per-split kernel decision -- collect every
+matching kernel, price each one, keep the metric-minimal choice -- is a
+pure function of the subject's shape/property signature (the same
+soundness argument the match cache rests on, see
+:class:`KernelDecisionMemo`), so the workers of one solve share a
+signature-keyed memo of finished decisions: a hit skips the match walk,
+every per-kernel cost evaluation and the argmin, and merely re-binds the
+winning substitution.
+
+Bound-ordered evaluation and decision memoization are where the
+single-core wall-clock win of ``threads:N`` comes from; on multi-core
+machines the thread pool additionally overlaps independent cells.
+
+The deadline of :attr:`repro.options.CompileOptions.deadline_s` stays
+cooperative: every worker polls one shared :class:`DeadlineChecker` (a
+strided, adaptive ``time.monotonic`` gate).  Cells are all-or-nothing --
+when the budget expires mid-diagonal, fully evaluated cells of that
+diagonal are committed, aborted cells are discarded, and the solve returns
+``complete=False``; a half-written cell is never observable.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..algebra.expression import Matrix
+from ..algebra.inference import registry_is_customized, registry_version
+from ..algebra.operators import Times
+from ..matching.discrimination_net import _flatten_subject
+from ..matching.match_cache import _binding_slots
+from ..matching.patterns import Substitution, Wildcard
+
+__all__ = [
+    "MAX_THREADS",
+    "parse_parallelism",
+    "resolve_worker_count",
+    "set_worker_parallelism_cap",
+    "worker_parallelism_cap",
+    "DeadlineChecker",
+    "SharedBound",
+    "WorkCounters",
+    "solver_work_telemetry",
+    "KernelDecisionMemo",
+    "make_decision_memo",
+    "SerialBackend",
+    "ThreadBackend",
+    "get_backend",
+    "shutdown_backends",
+    "DiagonalEnv",
+    "run_diagonals",
+]
+
+#: Upper bound on an explicit ``threads:N`` request (the policy travels on
+#: the service wire, so a remote client must not be able to ask a worker
+#: for an absurd pool).
+MAX_THREADS = 64
+
+
+# ---------------------------------------------------------------------------
+# Parallelism policy: "serial" | "threads:N" | "auto".
+# ---------------------------------------------------------------------------
+
+def parse_parallelism(spec: str) -> Tuple[str, int]:
+    """Validate a ``CompileOptions.parallelism`` policy string.
+
+    Returns ``(mode, count)`` where *mode* is ``"serial"``, ``"threads"``
+    or ``"auto"`` (*count* is meaningful only for ``"threads"``).  Raises
+    :class:`TypeError`/:class:`ValueError` on anything else -- this is the
+    validator behind :meth:`CompileOptions.validate`.
+    """
+    if not isinstance(spec, str):
+        raise TypeError(f"parallelism must be a string policy, got {spec!r}")
+    if spec == "serial":
+        return ("serial", 1)
+    if spec == "auto":
+        return ("auto", 0)
+    if spec.startswith("threads:"):
+        suffix = spec[len("threads:"):]
+        try:
+            count = int(suffix)
+        except ValueError:
+            count = -1
+        if not 1 <= count <= MAX_THREADS:
+            raise ValueError(
+                f"parallelism {spec!r} must name an int in [1, {MAX_THREADS}]"
+            )
+        return ("threads", count)
+    raise ValueError(
+        f"unknown parallelism {spec!r}; expected 'serial', 'auto' or 'threads:N'"
+    )
+
+
+#: Per-process cap on intra-solve workers, set by service pool workers so
+#: that W pool processes x N solve threads never oversubscribes the
+#: machine (``None`` = uncapped).
+_WORKER_CAP: Optional[int] = None
+
+
+def set_worker_parallelism_cap(cap: Optional[int]) -> None:
+    """Bound this process's intra-solve thread count (``None`` removes it).
+
+    Called by :func:`repro.service.pool._worker_main`: a pool of ``W``
+    workers caps each worker at ``max(1, cores // W)`` so ``auto`` resolves
+    to the worker's fair share instead of every worker claiming all cores.
+    """
+    global _WORKER_CAP
+    if cap is not None:
+        cap = max(1, int(cap))
+    _WORKER_CAP = cap
+
+
+def worker_parallelism_cap() -> Optional[int]:
+    """The current per-process intra-solve worker cap (``None`` = uncapped)."""
+    return _WORKER_CAP
+
+
+def resolve_worker_count(spec: str) -> int:
+    """The effective intra-solve worker count for a policy string.
+
+    ``serial`` is 1; ``auto`` is the process cap when one is set (pool
+    workers), else ``os.cpu_count()``; ``threads:N`` is ``N`` clamped to
+    the process cap.
+    """
+    mode, count = parse_parallelism(spec)
+    if mode == "serial":
+        return 1
+    cap = _WORKER_CAP
+    if mode == "auto":
+        return cap if cap is not None else max(1, os.cpu_count() or 1)
+    return count if cap is None else min(count, cap)
+
+
+# ---------------------------------------------------------------------------
+# Cooperative, strided deadline checking.
+# ---------------------------------------------------------------------------
+
+class DeadlineChecker:
+    """A shared, strided ``time.monotonic`` gate for ``deadline_s``.
+
+    One checker is created per solve and polled by every worker evaluating
+    its cells.  To keep the poll cheap, the clock is only read every
+    *stride* calls; the stride adapts to the observed time between clock
+    reads so cheap cells amortize the syscall while expensive cells keep
+    the truncation point tight (target: one clock read every
+    ~``_TARGET_S`` seconds, stride clamped to [1, ``_MAX_STRIDE``]).  The
+    very first call always reads the clock, so an already-expired budget
+    truncates before any work happens (the truncation-point tests rely on
+    this).  Expiry is sticky and safe to observe from any thread.
+    """
+
+    __slots__ = ("deadline", "_stride", "_budget", "_expired", "_last_check")
+
+    _MAX_STRIDE = 64
+    _TARGET_S = 0.002
+
+    def __init__(self, deadline_s: Optional[float]) -> None:
+        self.deadline = (
+            None if deadline_s is None else time.monotonic() + deadline_s
+        )
+        self._stride = 1
+        self._budget = 0  # calls left before the next real clock read
+        self._expired = False
+        self._last_check: Optional[float] = None
+
+    def expired(self) -> bool:
+        """Whether the budget has run out (strided clock reads)."""
+        if self.deadline is None:
+            return False
+        if self._expired:
+            return True
+        if self._budget > 0:
+            self._budget -= 1
+            return False
+        now = time.monotonic()
+        if now > self.deadline:
+            self._expired = True
+            return True
+        last = self._last_check
+        self._last_check = now
+        if last is not None:
+            elapsed = now - last
+            if elapsed < self._TARGET_S / 4 and self._stride < self._MAX_STRIDE:
+                self._stride *= 2
+            elif elapsed > self._TARGET_S and self._stride > 1:
+                self._stride //= 2
+        self._budget = self._stride - 1
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Shared best-so-far bound.
+# ---------------------------------------------------------------------------
+
+class SharedBound:
+    """Thread-safe lexicographic minimum over published ``(cost, k)`` pairs.
+
+    Workers evaluating candidates of the same DP cell publish improvements
+    here; concurrent readers prune against the current best without a lock
+    (the entry is one immutable tuple, swapped atomically).  The kept entry
+    is the lexicographically smallest ``(cost, k)`` -- exactly the choice
+    the serial ascending-``k`` reference loop records.
+    """
+
+    __slots__ = ("_lock", "_entry")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._entry: Optional[Tuple[object, int, tuple]] = None
+
+    def get(self) -> Optional[Tuple[object, int, tuple]]:
+        """The current ``(cost, k, payload)`` entry (``None`` when empty)."""
+        return self._entry
+
+    def offer(self, cost: object, k: int, payload: tuple) -> bool:
+        """Publish a candidate; keep it iff ``(cost, k)`` improves the best."""
+        with self._lock:
+            current = self._entry
+            if (
+                current is None
+                or cost < current[0]
+                or (not current[0] < cost and k < current[1])
+            ):
+                self._entry = (cost, k, payload)
+                return True
+            return False
+
+
+# ---------------------------------------------------------------------------
+# Solver work counters + process-global telemetry.
+# ---------------------------------------------------------------------------
+
+class WorkCounters:
+    """Per-solve work counters surfaced on the solution objects.
+
+    ``cells_evaluated`` counts DP cells whose split loop ran to completion;
+    ``cells_pruned`` counts split *candidates* skipped by the lower-bound
+    prune inside those cells; ``diagonals`` counts anti-diagonals entered;
+    ``memo_hits`` / ``memo_misses`` count :class:`KernelDecisionMemo`
+    lookups (zero on the serial tier, which never builds a memo).
+    """
+
+    __slots__ = ("cells_evaluated", "cells_pruned", "diagonals", "memo_hits", "memo_misses")
+
+    def __init__(self) -> None:
+        self.cells_evaluated = 0
+        self.cells_pruned = 0
+        self.diagonals = 0
+        self.memo_hits = 0
+        self.memo_misses = 0
+
+
+class SolverWorkTelemetry:
+    """Process-global accumulator behind the ``solver`` telemetry layer.
+
+    Follows the uniform ``stats()`` / ``reset_stats()`` protocol of the
+    cache layers (:mod:`repro.telemetry`), so solver work aggregates across
+    pool workers exactly like cache counters do.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.reset_stats()
+
+    def record(self, counters: WorkCounters) -> None:
+        with self._lock:
+            self.solves += 1
+            self.cells_evaluated += counters.cells_evaluated
+            self.cells_pruned += counters.cells_pruned
+            self.diagonals += counters.diagonals
+            self.hits += counters.memo_hits
+            self.misses += counters.memo_misses
+
+    def stats(self) -> Dict[str, object]:
+        # ``hits``/``misses`` are decision-memo lookups (the layer's only
+        # cache-like component); the remaining keys count raw solver work.
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "layer": "solver",
+                "solves": self.solves,
+                "cells_evaluated": self.cells_evaluated,
+                "cells_pruned": self.cells_pruned,
+                "diagonals": self.diagonals,
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": self.hits / total if total else 0.0,
+            }
+
+    def reset_stats(self) -> None:
+        self.solves = 0
+        self.cells_evaluated = 0
+        self.cells_pruned = 0
+        self.diagonals = 0
+        self.hits = 0
+        self.misses = 0
+
+
+_WORK_TELEMETRY = SolverWorkTelemetry()
+
+
+def solver_work_telemetry() -> SolverWorkTelemetry:
+    """The process-wide solver work accumulator (telemetry layer ``solver``)."""
+    return _WORK_TELEMETRY
+
+
+# ---------------------------------------------------------------------------
+# Signature-keyed memoization of whole kernel decisions.
+# ---------------------------------------------------------------------------
+
+#: Memo value for "no kernel matches this signature".
+_NO_KERNEL = object()
+
+#: Preallocated cross-equality tokens for the ubiquitous one-leaf case.
+_CROSS_EQ = (0,)
+_CROSS_NE = (-1,)
+
+
+class KernelDecisionMemo:
+    """A per-solve memo of finished best-kernel decisions for DP splits.
+
+    The solvers answer "which kernel computes ``Times(left, right)``, and
+    at what cost?" by collecting every matching kernel, pricing each with
+    the metric, and reducing to the minimal ``(cost, specialization, id)``
+    key.  The *outcome* of that whole decision depends only on the
+    subject's shape/property
+    :meth:`~repro.algebra.expression.Expression.signature`:
+    signature-equal subjects match exactly the same kernels (the match
+    cache's soundness argument), and a :attr:`CostMetric.signature_pure
+    <repro.cost.metrics.CostMetric.signature_pure>` metric prices a kernel
+    from operand dimensions and properties alone -- both captured by the
+    signature.  The deterministic tie-break (constraint count, kernel id)
+    is subject-independent, so the winning kernel and its cost are a pure
+    function of the signature.
+
+    The memo is keyed *without building the subject*: the signature of
+    ``Times(left, right)`` is determined by the operands' own (per-node
+    cached) signatures plus the cross-operand leaf-equality pattern, so
+    :meth:`decide_pair` keys on ``(left.signature(), right.signature(),
+    cross)``.  A hit skips the ``Times`` construction, the subject
+    signature walk, the match, every per-kernel substitution re-binding
+    and cost evaluation, and the argmin; only the *winner's* substitution
+    is re-bound, against a node list synthesized from the operands' cached
+    flattenings (``_flatten_subject`` of a product is its root followed by
+    the children's flattenings, and no pattern binds the root).  This is
+    the accelerated tier's biggest single-core saving: the reference loop
+    re-prices structurally repeated splits -- ubiquitous in chains whose
+    operands share dimensions -- on every cell, because its kernel-cost
+    memo keys on concrete substitutions over freshly named temporaries.
+
+    One memo serves one solve and is shared by its worker threads: single
+    dict operations are atomic under the GIL, and a racy duplicate
+    computation converges to the identical value (signature-purity), so
+    lost updates are harmless.  Construction is gated by
+    :func:`make_decision_memo` on the same conditions under which the
+    match cache trusts signatures; the watched net/registry versions are
+    re-checked on every lookup, mirroring the match cache's invalidation.
+    """
+
+    __slots__ = (
+        "_fallback",
+        "_net",
+        "_entries",
+        "_leaves",
+        "_net_version",
+        "_registry_version",
+        "hits",
+        "misses",
+    )
+
+    def __init__(self, net, fallback) -> None:
+        self._fallback = fallback
+        self._net = net
+        self._entries: Dict[tuple, object] = {}
+        # id(operand) -> (operand, leaf structural keys, has_wildcard).
+        # Holding the operand keeps its id stable for the memo's lifetime.
+        self._leaves: Dict[int, tuple] = {}
+        self._net_version = net.version
+        self._registry_version = registry_version()
+        self.hits = 0
+        self.misses = 0
+
+    def _leaf_info(self, operand) -> Tuple[tuple, bool]:
+        """The operand's leaf structural keys and whether it holds wildcards."""
+        cached = self._leaves.get(id(operand))
+        if cached is not None:
+            return cached[1], cached[2]
+        keys = []
+        wild = False
+        for node in _flatten_subject(operand)[0]:
+            if isinstance(node, Matrix):
+                keys.append(node.structural_key())
+            elif isinstance(node, Wildcard):
+                wild = True
+        info = (tuple(keys), wild)
+        self._leaves[id(operand)] = (operand, info[0], wild)
+        return info
+
+    def decide_pair(
+        self, left, right
+    ) -> Optional[Tuple[object, Substitution, object, Optional[object]]]:
+        """The decision for ``Times(left, right)``, memoized by pair key.
+
+        Returns ``None`` when no kernel matches, else ``(kernel,
+        substitution, kernel_cost, expr)`` where *expr* is the built
+        subject on a miss and ``None`` on a hit (callers construct it
+        lazily, only for candidates that survive the cost merge).
+        """
+        if (
+            self._registry_version != registry_version()
+            or self._net_version != self._net.version
+        ):
+            self._entries.clear()
+            self._net_version = self._net.version
+            self._registry_version = registry_version()
+        left_keys, left_wild = self._leaf_info(left)
+        right_keys, right_wild = self._leaf_info(right)
+        if left_wild or right_wild:
+            expr = Times(left, right)
+            matched = self._fallback(expr)
+            return None if matched is None else matched + (expr,)
+        # The subject signature is (left sig, right sig, cross-operand
+        # leaf-equality pattern): intra-operand equality patterns live in
+        # the operand signatures, and each right leaf's combined
+        # first-occurrence index is fixed by the first equal left leaf.
+        if len(left_keys) == 1 and len(right_keys) == 1:
+            cross = _CROSS_EQ if left_keys[0] == right_keys[0] else _CROSS_NE
+        else:
+            cross = tuple(
+                next((p for p, lk in enumerate(left_keys) if lk == rk), -1)
+                for rk in right_keys
+            )
+        key = (left.signature(), right.signature(), cross)
+        entry = self._entries.get(key)
+        if entry is not None:
+            self.hits += 1
+            if entry is _NO_KERNEL:
+                return None
+            kernel, slots, kernel_cost = entry
+            # _flatten_subject(Times(left, right)) is [root] + flat(left)
+            # + flat(right), and no pattern binds the root (the pattern's
+            # own Times operator consumes it), so the recorded slots
+            # resolve against a synthesized list -- no subject needed.
+            nodes = [None]
+            nodes += _flatten_subject(left)[0]
+            nodes += _flatten_subject(right)[0]
+            return (
+                kernel,
+                Substitution._from_owned_dict(
+                    {name: nodes[position] for name, position in slots}
+                ),
+                kernel_cost,
+                None,
+            )
+        self.misses += 1
+        expr = Times(left, right)
+        matched = self._fallback(expr)
+        if matched is None:
+            self._entries[key] = _NO_KERNEL
+            return None
+        kernel, substitution, kernel_cost = matched
+        slots = _binding_slots(_flatten_subject(expr)[0], substitution)
+        if slots is not None and all(position > 0 for _, position in slots):
+            self._entries[key] = (kernel, slots, kernel_cost)
+        return (kernel, substitution, kernel_cost, expr)
+
+
+def make_decision_memo(catalog, metric, fallback) -> Optional[KernelDecisionMemo]:
+    """Build a :class:`KernelDecisionMemo` over a solver's kernel picker.
+
+    Returns ``None`` whenever signatures cannot be trusted to determine
+    the decision -- the gate mirrors the match cache's bypass rules, plus
+    the metric-side purity flag:
+
+    * the metric must be :attr:`~repro.cost.metrics.CostMetric.cacheable`
+      and :attr:`~repro.cost.metrics.CostMetric.signature_pure`;
+    * the predicate registry must not be customized (user predicates may
+      observe what the signature abstracts away);
+    * the catalog's net must expose the structural-safety flags and have
+      neither concrete-leaf patterns nor opaque predicates.
+    """
+    if not (getattr(metric, "cacheable", False) and getattr(metric, "signature_pure", False)):
+        return None
+    if registry_is_customized():
+        return None
+    net = getattr(catalog, "net", None)
+    if (
+        net is None
+        or getattr(net, "has_concrete_leaf_patterns", True)
+        or getattr(net, "has_opaque_predicates", True)
+    ):
+        return None
+    return KernelDecisionMemo(net, fallback)
+
+
+# ---------------------------------------------------------------------------
+# Execution backends.
+# ---------------------------------------------------------------------------
+
+def _invoke(task: Callable[[], object]) -> object:
+    return task()
+
+
+class SerialBackend:
+    """Run a work queue in submission order in the calling thread."""
+
+    name = "serial"
+    workers = 1
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        return [task() for task in tasks]
+
+
+class ThreadBackend:
+    """Dispatch a work queue across a persistent thread pool.
+
+    The pool outlives individual solves (thread spin-up is paid once per
+    process, not once per diagonal).  ``run`` preserves submission order in
+    its result list.
+    """
+
+    name = "threads"
+
+    def __init__(self, workers: int) -> None:
+        self.workers = int(workers)
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-dp"
+        )
+
+    def run(self, tasks: Sequence[Callable[[], object]]) -> List[object]:
+        if len(tasks) == 1:
+            return [tasks[0]()]
+        # The driving thread would otherwise block on the pool: run the
+        # first task inline and offload only the rest.
+        futures = [self._pool.submit(_invoke, task) for task in tasks[1:]]
+        results = [tasks[0]()]
+        results.extend(future.result() for future in futures)
+        return results
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False)
+
+
+_SERIAL_BACKEND = SerialBackend()
+_THREAD_BACKENDS: Dict[int, ThreadBackend] = {}
+_BACKENDS_LOCK = threading.Lock()
+
+
+def get_backend(workers: int):
+    """The persistent backend for an effective worker count."""
+    if workers <= 1:
+        return _SERIAL_BACKEND
+    with _BACKENDS_LOCK:
+        backend = _THREAD_BACKENDS.get(workers)
+        if backend is None:
+            backend = _THREAD_BACKENDS[workers] = ThreadBackend(workers)
+        return backend
+
+
+def shutdown_backends() -> None:
+    """Tear down every persistent thread pool (test/teardown hook)."""
+    with _BACKENDS_LOCK:
+        for backend in _THREAD_BACKENDS.values():
+            backend.close()
+        _THREAD_BACKENDS.clear()
+
+
+# ---------------------------------------------------------------------------
+# The anti-diagonal work-queue runner.
+# ---------------------------------------------------------------------------
+
+#: Outcome marker for a cell whose evaluation the deadline aborted.
+_ABORTED = object()
+
+
+class DiagonalEnv:
+    """The solver-side callbacks the diagonal runner drives.
+
+    * ``costs`` is the 2-D best-cost table (workers only read cells of
+      strictly shorter subchains, which previous diagonals committed);
+    * ``operand(i, j)`` is the symbolic operand of subchain ``M[i..j]``;
+    * ``best_kernel(expr)`` is the solver's deterministic kernel pick;
+    * ``decide_pair(left, right)`` is an optional memoized fast path over
+      ``best_kernel`` (see :class:`KernelDecisionMemo`; ``None`` routes
+      every split through ``best_kernel``);
+    * ``commit(i, j, entry)`` records a finished cell -- called on the
+      driving thread only, in ascending ``i`` order, with *entry* either
+      ``None`` (no computable split) or ``(cost, k, (kernel, substitution,
+      expression, kernel_cost))``.
+    """
+
+    __slots__ = (
+        "n", "costs", "metric", "prune", "best_kernel", "decide_pair", "operand", "commit"
+    )
+
+    def __init__(
+        self, *, n, costs, metric, prune, best_kernel, operand, commit, decide_pair=None
+    ):
+        self.n = n
+        self.costs = costs
+        self.metric = metric
+        self.prune = prune
+        self.best_kernel = best_kernel
+        self.decide_pair = decide_pair
+        self.operand = operand
+        self.commit = commit
+
+
+def _evaluate_splits(
+    env: DiagonalEnv,
+    i: int,
+    j: int,
+    ks: Sequence[int],
+    shared: SharedBound,
+    checker: DeadlineChecker,
+) -> Tuple[bool, int]:
+    """Evaluate split candidates *ks* of cell ``(i, j)`` into *shared*.
+
+    Returns ``(aborted, splits_pruned)``.  With pruning enabled the
+    candidates are visited cheapest-lower-bound first; a candidate is
+    skipped only when it provably cannot change the lexicographic
+    ``(cost, k)`` argmin (strictly worse bound, or an equal bound at a
+    larger ``k`` -- see the module docstring), so any interleaving of
+    concurrent calls over one :class:`SharedBound` reproduces the serial
+    reference choice exactly.
+    """
+    metric = env.metric
+    costs = env.costs
+    live = []
+    for k in ks:
+        left_cost = costs[i][k]
+        right_cost = costs[k + 1][j]
+        if metric.is_infinite(left_cost) or metric.is_infinite(right_cost):
+            continue
+        live.append((k, left_cost, right_cost))
+    if not live:
+        return (False, 0)
+
+    use_bounds = False
+    if env.prune:
+        lower_bound = metric.lower_bound
+        decorated = [
+            (lower_bound(lc, rc), k, lc, rc) for (k, lc, rc) in live
+        ]
+        if all(entry[0] is not None for entry in decorated):
+            use_bounds = True
+            # Distinct k values break every (bound, k) tie, so plain tuple
+            # order sorts by (bound, k) without a key function.
+            live = sorted(decorated)
+
+    pruned = 0
+    operand = env.operand
+    best_kernel = env.best_kernel
+    decide_pair = env.decide_pair
+    combine = metric.combine
+    is_infinite = metric.is_infinite
+    get_bound = shared.get
+    # With no budget set the checker is a constant False; skip the call.
+    expired = checker.expired if checker.deadline is not None else None
+    for position, item in enumerate(live):
+        if expired is not None and expired():
+            return (True, pruned)
+        if use_bounds:
+            bound, k, left_cost, right_cost = item
+            entry = get_bound()
+            if entry is not None:
+                best_cost, best_k = entry[0], entry[1]
+                if best_cost < bound:
+                    # Candidates are bound-sorted: everything left provably
+                    # costs more than the published best.  One cut.
+                    pruned += len(live) - position
+                    break
+                if not bound < best_cost and k > best_k:
+                    # Equal bound, larger k: at best a tie the (cost, k)
+                    # merge would discard anyway.
+                    pruned += 1
+                    continue
+        else:
+            k, left_cost, right_cost = item
+        left_nd = operand(i, k)
+        right_nd = operand(k + 1, j)
+        if decide_pair is not None:
+            decision = decide_pair(left_nd, right_nd)
+            if decision is None:
+                continue
+            kernel, substitution, kernel_cost, expr = decision
+        else:
+            expr = Times(left_nd, right_nd)
+            matched = best_kernel(expr)
+            if matched is None:
+                continue
+            kernel, substitution, kernel_cost = matched
+        cost = combine(combine(left_cost, right_cost), kernel_cost)
+        if is_infinite(cost):
+            continue
+        entry = get_bound()
+        if entry is not None and not (
+            cost < entry[0] or (not entry[0] < cost and k < entry[1])
+        ):
+            # The published best already beats (cost, k); the offer would
+            # be rejected, so skip it -- and skip materializing the
+            # subject on memo hits.  Sound under concurrency: the bound
+            # only ever improves.
+            continue
+        if expr is None:
+            expr = Times(left_nd, right_nd)
+        shared.offer(cost, k, (kernel, substitution, expr, kernel_cost))
+    return (False, pruned)
+
+
+def _run_one_diagonal(
+    env: DiagonalEnv,
+    cells: List[Tuple[int, int]],
+    backend,
+    checker: DeadlineChecker,
+    counters: WorkCounters,
+) -> bool:
+    """Evaluate and commit one anti-diagonal; False once the deadline hits."""
+    workers = backend.workers
+    shared: Dict[Tuple[int, int], SharedBound] = {
+        cell: SharedBound() for cell in cells
+    }
+    aborted: Dict[Tuple[int, int], bool] = {}
+    pruned: Dict[Tuple[int, int], int] = {cell: 0 for cell in cells}
+
+    if len(cells) >= workers:
+        # Cell granularity: round-robin the cells over the workers; each
+        # cell is evaluated by exactly one task (its SharedBound is then
+        # simply the cell-local best).
+        def run_slice(slice_cells: List[Tuple[int, int]]):
+            outcome = {}
+            for (i, j) in slice_cells:
+                was_aborted, cell_pruned = _evaluate_splits(
+                    env, i, j, range(i, j), shared[(i, j)], checker
+                )
+                outcome[(i, j)] = (was_aborted, cell_pruned)
+                if was_aborted:
+                    break
+            return outcome
+
+        slices = [cells[w::workers] for w in range(workers)]
+        tasks = [
+            (lambda s=s: run_slice(s)) for s in slices if s
+        ]
+        for outcome in backend.run(tasks):
+            for cell, (was_aborted, cell_pruned) in outcome.items():
+                aborted[cell] = was_aborted
+                pruned[cell] = cell_pruned
+    else:
+        # Fewer cells than workers (the top of the table): chunk each
+        # cell's split range across the workers; chunks of one cell share
+        # its SharedBound, so an improvement published by one worker
+        # prunes the candidates of every other worker on that cell.
+        chunks_per_cell = max(1, -(-workers // len(cells)))
+        tasks = []
+        task_cells = []
+        for (i, j) in cells:
+            ks = list(range(i, j))
+            for chunk in range(chunks_per_cell):
+                chunk_ks = ks[chunk::chunks_per_cell]
+                if not chunk_ks:
+                    continue
+                tasks.append(
+                    lambda i=i, j=j, chunk_ks=chunk_ks: _evaluate_splits(
+                        env, i, j, chunk_ks, shared[(i, j)], checker
+                    )
+                )
+                task_cells.append((i, j))
+        for cell, (was_aborted, chunk_pruned) in zip(
+            task_cells, backend.run(tasks)
+        ):
+            aborted[cell] = aborted.get(cell, False) or was_aborted
+            pruned[cell] += chunk_pruned
+
+    expired = False
+    for cell in cells:
+        # A cell some task never reached (slice abandoned after an abort)
+        # has no outcome recorded: treat it like an aborted cell.
+        if aborted.get(cell, True):
+            expired = True
+            continue
+        i, j = cell
+        counters.cells_evaluated += 1
+        counters.cells_pruned += pruned[cell]
+        env.commit(i, j, shared[cell].get())
+    return not expired
+
+
+def run_diagonals(
+    env: DiagonalEnv,
+    backend,
+    checker: DeadlineChecker,
+    counters: WorkCounters,
+) -> bool:
+    """Fill the DP tables diagonal by diagonal through *backend*.
+
+    Returns the ``complete`` flag: ``False`` when the deadline expired --
+    every fully evaluated cell up to that point has been committed, no
+    partially evaluated cell has.
+    """
+    complete = True
+    for length in range(1, env.n):
+        counters.diagonals += 1
+        cells = [(i, i + length) for i in range(env.n - length)]
+        if not _run_one_diagonal(env, cells, backend, checker, counters):
+            complete = False
+            break
+    return complete

@@ -456,6 +456,17 @@ def compile_source(
 # Command line.
 # ---------------------------------------------------------------------------
 
+def _parallel_policy(value: str) -> str:
+    """argparse type for ``--parallel``: validate the policy eagerly."""
+    from ..core.parallel import parse_parallelism
+
+    try:
+        parse_parallelism(value)
+    except (TypeError, ValueError) as exc:
+        raise argparse.ArgumentTypeError(str(exc))
+    return value
+
+
 def build_options(args: argparse.Namespace) -> CompileOptions:
     """The one place CLI flags become a :class:`CompileOptions` value."""
     return CompileOptions(
@@ -463,6 +474,7 @@ def build_options(args: argparse.Namespace) -> CompileOptions:
         metric=args.metric,
         prune=not args.no_prune,
         match_cache=not args.no_match_cache,
+        parallelism=args.parallel,
     )
 
 
@@ -498,6 +510,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--no-match-cache",
         action="store_true",
         help="bypass the signature-keyed kernel-match cache",
+    )
+    parser.add_argument(
+        "--parallel",
+        default="serial",
+        type=_parallel_policy,
+        metavar="POLICY",
+        help=(
+            "intra-solve parallelism policy: 'serial' (default), "
+            "'threads:N' (dispatch each DP anti-diagonal across N "
+            "threads) or 'auto' (one thread per available core)"
+        ),
     )
     parser.add_argument(
         "--emit",
@@ -558,6 +581,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ignored.append("--no-prune")
         if args.no_match_cache:
             ignored.append("--no-match-cache")
+        if args.parallel != "serial":
+            ignored.append("--parallel")
         if args.emit != "report":
             ignored.append("--emit")
         if ignored:

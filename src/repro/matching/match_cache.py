@@ -207,7 +207,13 @@ class MatchCache:
         cached = self._entries.get(signature)
         if cached is not None:
             self.hits += 1
-            self._entries.move_to_end(signature)
+            try:
+                self._entries.move_to_end(signature)
+            except KeyError:
+                # The intra-solve thread pool shares this cache; a
+                # concurrent eviction can drop the entry between the get
+                # and the LRU touch.  The cached matches stay valid.
+                pass
             nodes, _ = _flatten_subject(subject)
             results: List[Tuple[object, Substitution]] = []
             for payload, slots in cached:
@@ -234,8 +240,11 @@ class MatchCache:
             isinstance(node, Wildcard) for node in nodes
         ):
             if len(self._entries) >= self.max_entries:
-                self._entries.popitem(last=False)
-                self.evictions += 1
+                try:
+                    self._entries.popitem(last=False)
+                    self.evictions += 1
+                except KeyError:  # emptied by a concurrent solver thread
+                    pass
             self._entries[signature] = entry
         return results
 

@@ -57,6 +57,7 @@ _WIRE_KEYS = (
     "plan_cache",
     "deadline_s",
     "cost_cache_size",
+    "parallelism",
 )
 
 
@@ -127,6 +128,14 @@ class CompileOptions:
     deadline_s: Optional[float] = None
     #: Override for the per-metric kernel-cost LRU capacity.
     cost_cache_size: Optional[int] = None
+    #: Intra-solve parallelism policy (:mod:`repro.core.parallel`):
+    #: ``"serial"`` (the reference DP loops), ``"threads:N"`` (dispatch each
+    #: anti-diagonal across N persistent threads) or ``"auto"`` (one thread
+    #: per available core, respecting the service pool's per-worker cap).
+    #: The policy never changes the solution -- parallel and serial solves
+    #: are bit-identical -- so it is excluded from the plan-cache
+    #: fingerprint.
+    parallelism: str = "serial"
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "emit", tuple(self.emit))
@@ -164,6 +173,9 @@ class CompileOptions:
                 )
         if self.catalog is not None and not hasattr(self.catalog, "match"):
             raise TypeError(f"catalog {self.catalog!r} has no match() method")
+        from .core.parallel import parse_parallelism  # deferred: import cycle
+
+        parse_parallelism(self.parallelism)  # raises on bad policies
 
     # -------------------------------------------------------------- deriving
     def replace(self, **changes) -> "CompileOptions":
@@ -217,6 +229,8 @@ class CompileOptions:
             payload["deadline_s"] = self.deadline_s
         if self.cost_cache_size is not None:
             payload["cost_cache_size"] = self.cost_cache_size
+        if self.parallelism != "serial":
+            payload["parallelism"] = self.parallelism
         return payload
 
     @classmethod
@@ -246,4 +260,5 @@ class CompileOptions:
             plan_cache=wire_bool("plan_cache"),
             deadline_s=None if deadline is None else float(deadline),
             cost_cache_size=None if cache_size is None else int(cache_size),
+            parallelism=payload.get("parallelism", "serial"),
         )

@@ -57,6 +57,7 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence
 
+from ..core.parallel import set_worker_parallelism_cap
 from ..frontend.compiler import Compiler
 from ..kernels.catalog import KernelCatalog
 from ..options import CompileOptions
@@ -243,7 +244,9 @@ class InProcessExecutor:
 # Worker process main loop.
 # ---------------------------------------------------------------------------
 
-def _worker_main(worker_id: int, inbox, outbox, snapshot_file=None) -> None:
+def _worker_main(
+    worker_id: int, inbox, outbox, snapshot_file=None, parallelism_cap=None
+) -> None:
     """Serve requests until shutdown; every cache stays warm in between.
 
     Each worker holds one :class:`~repro.frontend.compiler.Compiler`
@@ -251,11 +254,17 @@ def _worker_main(worker_id: int, inbox, outbox, snapshot_file=None) -> None:
     with them every cache layer that makes repeated structurally similar
     requests cheap.  With a *snapshot_file*, the worker boots warm by
     loading the plan-cache/match-cache snapshot into the fresh session
-    (stale/corrupt snapshots boot cold, reported via ``stats``).  Messages
-    are ``(kind, token, payload)`` tuples; every message except
-    ``shutdown``/``crash`` is answered with ``(token, payload)`` on
-    *outbox*.
+    (stale/corrupt snapshots boot cold, reported via ``stats``).
+    *parallelism_cap* bounds the worker's intra-solve thread count
+    (:func:`repro.core.parallel.set_worker_parallelism_cap`): the pool
+    hands each of its ``W`` workers a ``max(1, cores // W)`` share so that
+    per-request ``parallelism`` policies never oversubscribe the machine
+    by a factor of ``W``.  Messages are ``(kind, token, payload)`` tuples;
+    every message except ``shutdown``/``crash`` is answered with
+    ``(token, payload)`` on *outbox*.
     """
+    if parallelism_cap is not None:
+        set_worker_parallelism_cap(parallelism_cap)
     compiler = Compiler()
     snapshot_load = None
     if snapshot_file is not None:
@@ -335,6 +344,10 @@ class WorkerPool:
         max_inflight_per_worker: int = DEFAULT_MAX_INFLIGHT,
     ) -> None:
         count = workers if workers and workers > 0 else min(4, os.cpu_count() or 1)
+        #: Fair intra-solve thread share per worker: W processes x N solve
+        #: threads must not oversubscribe the machine, so each worker's
+        #: ``auto``/``threads:N`` policies are capped at cores // W.
+        self.worker_parallelism_cap = max(1, (os.cpu_count() or 1) // count)
         if start_method is None:
             methods = multiprocessing.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
@@ -383,7 +396,13 @@ class WorkerPool:
         )
         proc = self._ctx.Process(
             target=_worker_main,
-            args=(index, self._inboxes[index], self._outbox, snapshot_file),
+            args=(
+                index,
+                self._inboxes[index],
+                self._outbox,
+                snapshot_file,
+                self.worker_parallelism_cap,
+            ),
             name=f"repro-service-worker-{index}",
             daemon=True,
         )

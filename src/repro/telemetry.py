@@ -1,8 +1,9 @@
 """Unified cache telemetry: snapshot, reset and aggregate every cache layer.
 
-The compilation pipeline owns five caches, each of which now exposes the
-uniform ``stats()`` / ``reset_stats()`` protocol (plain dicts with ``size``,
-``max_entries``, ``hits``, ``misses``, ``hit_rate`` and ``evictions``):
+The compilation pipeline owns five caches plus the solver work counters,
+each of which exposes the uniform ``stats()`` / ``reset_stats()`` protocol
+(plain dicts with ``size``, ``max_entries``, ``hits``, ``misses``,
+``hit_rate`` and ``evictions`` for the caches):
 
 * the **plan cache** of a compiler session
   (:class:`repro.persist.plan_cache.PlanCache`) -- signature-keyed whole
@@ -17,7 +18,11 @@ uniform ``stats()`` / ``reset_stats()`` protocol (plain dicts with ``size``,
   (:class:`repro.algebra.inference.PropertyInference`) -- memoized property
   sets;
 * the **kernel-cost LRU** (:meth:`repro.cost.metrics.CostMetric.stats`) --
-  memoized per-kernel cost evaluations, one memo per live metric instance.
+  memoized per-kernel cost evaluations, one memo per live metric instance;
+* the **solver work counters**
+  (:class:`repro.core.parallel.SolverWorkTelemetry`) -- DP cells
+  evaluated, split candidates pruned and anti-diagonals entered, summed
+  over every solve the process ran (serial or parallel).
 
 This module never mutates pipeline state beyond ``reset_stats``; it only
 *reads* the counters the layers maintain themselves, so the service layer
@@ -35,13 +40,21 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from .algebra.inference import inference_engine
 from .algebra.interning import default_interner
+from .core.parallel import solver_work_telemetry
 from .cost.metrics import CostMetric
 from .kernels.catalog import KernelCatalog, default_catalog
 
 __all__ = ["CACHE_LAYERS", "snapshot", "reset", "aggregate"]
 
-#: The cache layers every snapshot reports, in display order.
-CACHE_LAYERS = ("plan_cache", "match_cache", "interner", "inference", "kernel_cost")
+#: The telemetry layers every snapshot reports, in display order.
+CACHE_LAYERS = (
+    "plan_cache",
+    "match_cache",
+    "interner",
+    "inference",
+    "kernel_cost",
+    "solver",
+)
 
 #: Counter keys that add up across workers / metric instances.
 _SUMMED_KEYS = (
@@ -53,6 +66,10 @@ _SUMMED_KEYS = (
     "bypasses",
     "stores",
     "restored",
+    "solves",
+    "cells_evaluated",
+    "cells_pruned",
+    "diagonals",
 )
 
 
@@ -118,6 +135,7 @@ def snapshot(
         "interner": default_interner().stats(),
         "inference": inference_engine().stats(),
         "kernel_cost": kernel_cost,
+        "solver": solver_work_telemetry().stats(),
     }
 
 
@@ -133,6 +151,7 @@ def reset(
     catalog.match_cache.reset_stats()
     default_interner().reset_stats()
     inference_engine().reset_stats()
+    solver_work_telemetry().reset_stats()
     for metric in (metrics or {}).values():
         metric.reset_stats()
 

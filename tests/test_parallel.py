@@ -1,0 +1,335 @@
+"""Tests for intra-solve parallelism (``CompileOptions.parallelism``).
+
+The parallel tier (:mod:`repro.core.parallel`) re-evaluates each
+anti-diagonal of the DP table as a work queue of independent cell tasks.
+Its contract is *bit-identity*: for every solver, metric and pruning
+policy, the parallel backend must return exactly the serial reference
+tier's costs, kernel sequences and parenthesizations.  These tests pin
+that contract across the identity matrix the issue prescribes, plus the
+deadline, plan-cache, CLI and telemetry integrations.
+"""
+
+import random
+
+import pytest
+
+from repro.algebra import Matrix, Property
+from repro.core.gmc import GMCAlgorithm
+from repro.core.parallel import (
+    DeadlineChecker,
+    SharedBound,
+    parse_parallelism,
+    resolve_worker_count,
+    set_worker_parallelism_cap,
+    solver_work_telemetry,
+    worker_parallelism_cap,
+)
+from repro.core.topdown import TopDownGMC
+from repro.cost import FlopCount, KernelCountMetric, WeightedSumMetric
+from repro.options import CompileOptions
+from repro.persist.plan_cache import plan_fingerprint
+
+pytestmark = pytest.mark.parallel
+
+SOLVERS = {"gmc": GMCAlgorithm, "topdown": TopDownGMC}
+
+#: Realistic palette: chain operands share dimensions, so signature-keyed
+#: layers (match cache, decision memo) see repeats, exactly like the
+#: application chains of the paper's test set.
+PALETTE = (40, 60, 80, 100)
+
+SQUARE_PROPS = (Property.LOWER_TRIANGULAR, Property.DIAGONAL, Property.SYMMETRIC)
+
+
+def make_chain(seed, length, palette=PALETTE):
+    """A random conformable chain with occasional properties/transposes."""
+    rng = random.Random(seed)
+    dims = [rng.choice(palette) for _ in range(length + 1)]
+    factors = []
+    for index in range(length):
+        properties = set()
+        if dims[index] == dims[index + 1] and rng.random() < 0.3:
+            properties = {rng.choice(SQUARE_PROPS)}
+        factor = Matrix(f"M{index}", dims[index], dims[index + 1], properties)
+        if factor.rows == factor.columns and rng.random() < 0.2:
+            factor = factor.T
+        factors.append(factor)
+    return factors
+
+
+def solve(solver, chain, parallelism, *, prune=True, metric="flops"):
+    options = CompileOptions(
+        solver=solver,
+        metric=metric,
+        prune=prune,
+        parallelism=parallelism,
+        plan_cache=False,
+    )
+    return SOLVERS[solver](options).solve(list(chain))
+
+
+def fingerprint(solution):
+    """Everything the identity contract covers, as one comparable value."""
+    if not solution.computable:
+        return (solution.optimal_cost, None, None)
+    return (
+        solution.optimal_cost,
+        solution.kernel_sequence(),
+        solution.parenthesization(),
+    )
+
+
+def weighted_metric():
+    return WeightedSumMetric([(FlopCount(), 1.0), (KernelCountMetric(), 10.0)])
+
+
+class TestSerialParallelIdentity:
+    """The issue's identity matrix: solvers x pruning x metrics x lengths."""
+
+    @pytest.mark.parametrize("solver", ["gmc", "topdown"])
+    @pytest.mark.parametrize("prune", [True, False])
+    @pytest.mark.parametrize("metric_kind", ["flops", "weighted"])
+    @pytest.mark.parametrize("length", [3, 12, 24])
+    def test_parallel_matches_serial(self, solver, prune, metric_kind, length):
+        chain = make_chain(seed=(hash((solver, prune, length)) & 0xFFFF), length=length)
+        metric = "flops" if metric_kind == "flops" else weighted_metric()
+        serial = solve(solver, chain, "serial", prune=prune, metric=metric)
+        parallel = solve(solver, chain, "threads:2", prune=prune, metric=metric)
+        assert serial.computable
+        assert fingerprint(parallel) == fingerprint(serial)
+        assert serial.complete and parallel.complete
+
+    @pytest.mark.parametrize("solver", ["gmc", "topdown"])
+    def test_match_cache_off_still_identical(self, solver):
+        """Without the match cache the decision memo is bypassed too; the
+        raw-picker parallel path must still reproduce the serial result."""
+        chain = make_chain(seed=11, length=10)
+        options = dict(prune=True, metric="flops")
+        serial = SOLVERS[solver](
+            CompileOptions(
+                solver=solver, parallelism="serial", match_cache=False,
+                plan_cache=False, **options,
+            )
+        ).solve(list(chain))
+        parallel = SOLVERS[solver](
+            CompileOptions(
+                solver=solver, parallelism="threads:2", match_cache=False,
+                plan_cache=False, **options,
+            )
+        ).solve(list(chain))
+        assert fingerprint(parallel) == fingerprint(serial)
+
+
+class TestDeadlineUnderParallelBackend:
+    @pytest.mark.parametrize("solver", ["gmc", "topdown"])
+    def test_expired_deadline_truncates_cleanly(self, solver):
+        chain = make_chain(seed=3, length=16)
+        options = CompileOptions(
+            solver=solver,
+            parallelism="threads:2",
+            deadline_s=1e-9,
+            plan_cache=False,
+        )
+        solution = SOLVERS[solver](options).solve(list(chain))
+        assert solution.complete is False
+
+    @pytest.mark.parametrize("solver", ["gmc", "topdown"])
+    def test_roomy_deadline_completes(self, solver):
+        chain = make_chain(seed=4, length=8)
+        options = CompileOptions(
+            solver=solver,
+            parallelism="threads:2",
+            deadline_s=60.0,
+            plan_cache=False,
+        )
+        solution = SOLVERS[solver](options).solve(list(chain))
+        assert solution.complete is True
+        assert fingerprint(solution) == fingerprint(solve(solver, chain, "serial"))
+
+
+class TestPolicyParsing:
+    def test_valid_policies(self):
+        assert parse_parallelism("serial") == ("serial", 1)
+        assert parse_parallelism("threads:4") == ("threads", 4)
+        mode, _ = parse_parallelism("auto")
+        assert mode == "auto"
+
+    @pytest.mark.parametrize("bad", ["threads:0", "threads:-1", "threads:", "bogus", "THREADS:2"])
+    def test_invalid_policies_raise(self, bad):
+        with pytest.raises(ValueError):
+            parse_parallelism(bad)
+
+    def test_non_string_policy_raises(self):
+        with pytest.raises(TypeError):
+            parse_parallelism(4)
+
+    def test_options_validate_rejects_bad_policy(self):
+        with pytest.raises(ValueError):
+            CompileOptions(parallelism="bogus")
+
+    def test_wire_roundtrip(self):
+        options = CompileOptions(parallelism="threads:2")
+        assert CompileOptions.from_wire(options.to_wire()).parallelism == "threads:2"
+        # The default stays off the wire (sparse payloads, old servers).
+        assert "parallelism" not in CompileOptions().to_wire()
+
+
+class TestWorkerCap:
+    def test_cap_bounds_threads_and_auto(self):
+        try:
+            set_worker_parallelism_cap(1)
+            assert worker_parallelism_cap() == 1
+            assert resolve_worker_count("threads:8") == 1
+            assert resolve_worker_count("auto") == 1
+        finally:
+            set_worker_parallelism_cap(None)
+        assert worker_parallelism_cap() is None
+        assert resolve_worker_count("threads:8") == 8
+
+    def test_serial_always_one(self):
+        assert resolve_worker_count("serial") == 1
+
+    def test_pool_divides_cores_between_workers(self):
+        import os
+
+        from repro.service.pool import WorkerPool
+
+        pool = WorkerPool(workers=2)
+        try:
+            cores = os.cpu_count() or 1
+            assert pool.worker_parallelism_cap == max(1, cores // 2)
+        finally:
+            pool.close()
+
+
+class TestPlanCacheInteraction:
+    def test_parallelism_is_not_in_the_fingerprint(self):
+        serial = plan_fingerprint(CompileOptions(parallelism="serial"))
+        threaded = plan_fingerprint(CompileOptions(parallelism="threads:4"))
+        assert serial == threaded
+
+    def test_serial_solve_warms_parallel_session(self):
+        from repro.frontend.compiler import Compiler
+        from repro.kernels import KernelCatalog, build_default_kernels
+
+        source = (
+            "Matrix A (120, 120) <spd>\n"
+            "Matrix B (120, 60) <>\n"
+            "Matrix C (60, 60) <lower_triangular, non_singular>\n"
+            "X := A^-1 * B * C^T\n"
+        )
+        catalog = KernelCatalog(build_default_kernels(), name="parallel-plan-test")
+        session = Compiler(CompileOptions(catalog=catalog))
+        session.compile(source)
+        assert session.plan_cache.stores == 1
+        session.compile(source, parallelism="threads:2")
+        assert session.plan_cache.hits == 1
+
+
+class TestWorkTelemetry:
+    def test_gmc_counts_cells_and_diagonals(self):
+        n = 9
+        solution = solve("gmc", make_chain(seed=6, length=n), "serial")
+        assert solution.diagonals == n - 1
+        assert solution.cells_evaluated == n * (n - 1) // 2
+
+    def test_parallel_counts_match_serial(self):
+        chain = make_chain(seed=7, length=10)
+        serial = solve("gmc", chain, "serial")
+        parallel = solve("gmc", chain, "threads:2")
+        assert parallel.diagonals == serial.diagonals
+        assert parallel.cells_evaluated == serial.cells_evaluated
+
+    def test_pruning_is_observable(self):
+        solution = solve("gmc", make_chain(seed=8, length=12), "serial", prune=True)
+        assert solution.cells_pruned > 0
+        unpruned = solve("gmc", make_chain(seed=8, length=12), "serial", prune=False)
+        assert unpruned.cells_pruned == 0
+
+    def test_solver_layer_in_telemetry_snapshot(self):
+        from repro import telemetry
+
+        before = telemetry.snapshot()["solver"]
+        solution = solve("gmc", make_chain(seed=9, length=6), "serial")
+        after = telemetry.snapshot()["solver"]
+        assert after["solves"] >= before["solves"] + 1
+        assert after["cells_evaluated"] >= before["cells_evaluated"] + solution.cells_evaluated
+        assert {"hits", "misses", "hit_rate"} <= set(after)
+
+    def test_decision_memo_hits_surface_in_telemetry(self):
+        from repro import telemetry
+
+        before = telemetry.snapshot()["solver"]
+        solve("gmc", make_chain(seed=10, length=12), "threads:2")
+        after = telemetry.snapshot()["solver"]
+        # Palette dims repeat, so the memo must have both missed (first
+        # sighting of each split signature) and hit (every repeat).
+        assert after["misses"] > before["misses"]
+        assert after["hits"] > before["hits"]
+
+
+class TestPrimitives:
+    def test_shared_bound_keeps_lexicographic_minimum(self):
+        bound = SharedBound()
+        assert bound.offer(10.0, 3, "a")
+        assert not bound.offer(10.0, 5, "b")  # same cost, later split loses
+        assert bound.offer(10.0, 1, "c")  # same cost, earlier split wins
+        assert bound.offer(4.0, 7, "d")
+        cost, split, payload = bound.get()
+        assert (cost, split, payload) == (4.0, 7, "d")
+
+    def test_deadline_checker_none_never_expires(self):
+        checker = DeadlineChecker(None)
+        assert checker.deadline is None
+        assert not checker.expired()
+
+    def test_deadline_checker_expiry_is_sticky(self):
+        checker = DeadlineChecker(0.0)
+        assert checker.expired()
+        assert checker.expired()
+
+
+class TestCommandLine:
+    def _report(self, *arguments, tmp_path):
+        import contextlib
+        import io
+
+        from repro.frontend import main
+
+        path = tmp_path / "problem.chain"
+        path.write_text(
+            "Matrix A (200, 200) <SPD>\n"
+            "Matrix B (200, 100) <>\n"
+            "Matrix C (100, 100) <LowerTriangular, NonSingular>\n"
+            "X := A^-1 * B * C^T\n",
+            encoding="utf-8",
+        )
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            status = main([str(path), *arguments])
+        assert status == 0
+        return buffer.getvalue()
+
+    def test_parallel_flag_matches_serial_report(self, tmp_path):
+        serial = self._report(tmp_path=tmp_path)
+        parallel = self._report("--parallel", "threads:2", tmp_path=tmp_path)
+        pick = lambda report: [
+            line for line in report.splitlines() if "kernels:" in line or "total cost" in line
+        ]
+        assert pick(parallel) == pick(serial)
+
+    def test_bad_policy_is_a_usage_error(self, capsys):
+        from repro.frontend import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--parallel", "threads:zero"])
+        assert excinfo.value.code == 2
+        assert "threads:zero" in capsys.readouterr().err
+
+    def test_serve_mode_rejects_parallel_flag(self, capsys):
+        from repro.frontend import main
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--serve", "--parallel", "threads:2", "--port", "0"])
+        assert excinfo.value.code == 2
+        assert "--parallel" in capsys.readouterr().err
