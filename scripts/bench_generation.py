@@ -611,6 +611,87 @@ def run_persistence(workers, batch_size, seed, length=8):
     return entry
 
 
+def run_jacobian(models, blocks):
+    """Benchmark the DAG pipeline on Solverz-style Jacobian traffic.
+
+    :func:`repro.experiments.workload.jacobian_workload` expands a small
+    symbolic model into *models* structurally-sibling multi-assignment DAG
+    programs (one shared Gram segment plus *blocks* Jacobian blocks each,
+    connected by references).  One warm :class:`Compiler` session compiles
+    them all; each chain segment consults the plan cache independently, so
+    after the first model every sibling segment should hit.  Records the
+    segment-level plan-cache hit rate (the ``segments`` telemetry layer) and
+    asserts every kernel sequence identical to a plan-cache-disabled
+    reference solve (``--check-dag-plan-hit-rate`` gates the rate in CI).
+    """
+    from repro.core import segment_telemetry
+    from repro.experiments.workload import jacobian_workload
+    from repro.frontend import Compiler
+
+    problems = jacobian_workload(models=models, blocks=blocks)
+    mismatches = []
+    reference = Compiler(CompileOptions(plan_cache=False))
+    reference_result = reference.compile(problems[0].source)
+    reference_gram = reference_result.assignment("G").kernel_sequence
+    reference_block = reference_result.assignment(
+        problems[0].targets[0]
+    ).kernel_sequence
+
+    session = Compiler()
+    telemetry = segment_telemetry()
+    telemetry.reset_stats()
+    start = time.perf_counter()
+    results = [session.compile(problems[0].source)]
+    cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    for problem in problems[1:]:
+        results.append(session.compile(problem.source))
+    warm_s = time.perf_counter() - start
+    stats = telemetry.stats()
+
+    for problem, result in zip(problems, results):
+        if result.assignment("G").kernel_sequence != reference_gram:
+            mismatches.append(f"{problem.identifier}: G")
+        for target in problem.targets:
+            if result.assignment(target).kernel_sequence != reference_block:
+                mismatches.append(f"{problem.identifier}: {target}")
+
+    warm_models = max(len(problems) - 1, 1)
+    entry = {
+        "description": (
+            "Jacobian DAG workload: structurally-sibling multi-assignment "
+            "programs (shared Gram segment + per-equation Jacobian blocks, "
+            "from symbolic differentiation of a small model) compiled on one "
+            "warm session; each chain segment hits the plan cache "
+            "independently; kernel sequences asserted identical to a "
+            "plan-cache-disabled reference"
+        ),
+        "models": len(problems),
+        "blocks_per_model": blocks,
+        "segments_per_model": blocks + 1,
+        "cold_model_s": cold_s,
+        "warm_models_total_s": warm_s,
+        "warm_model_mean_s": warm_s / warm_models,
+        "warm_amortization_vs_cold": (
+            cold_s * warm_models / warm_s if warm_s > 0 else math.inf
+        ),
+        "segment_lookups": stats["hits"] + stats["misses"],
+        "segment_plan_hits": stats["hits"],
+        "segment_plan_hit_rate": stats["hit_rate"],
+        "cse_reuses": stats["cse_reuses"],
+        "solutions_match": not mismatches,
+        "mismatches": mismatches,
+    }
+    print(
+        f"jacobian DAGs ({entry['models']} models x {blocks} blocks): cold "
+        f"model {cold_s * 1e3:8.2f} ms, warm mean "
+        f"{entry['warm_model_mean_s'] * 1e3:8.2f} ms, segment plan hit rate "
+        f"{entry['segment_plan_hit_rate']:5.3f}, amortization "
+        f"{entry['warm_amortization_vs_cold']:5.2f}x"
+    )
+    return entry
+
+
 def run(lengths, chains_per_length, repeats, seed):
     per_length = []
     mismatches = []
@@ -819,6 +900,34 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--jacobian-models",
+        type=int,
+        default=None,
+        help=(
+            "model instances for the Jacobian DAG section "
+            "(default: 12 with --smoke, 25 otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--jacobian-blocks",
+        type=int,
+        default=None,
+        help=(
+            "Jacobian blocks per model for the DAG section "
+            "(default: 6 with --smoke, 8 otherwise)"
+        ),
+    )
+    parser.add_argument(
+        "--check-dag-plan-hit-rate",
+        type=float,
+        default=None,
+        metavar="R",
+        help=(
+            "exit non-zero unless the segment-level plan-cache hit rate of "
+            "the Jacobian DAG section is at least R"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
@@ -865,6 +974,10 @@ def main(argv=None) -> int:
         batch_size=args.persist_batch,
         seed=args.seed,
     )
+    print("\n== Jacobian DAG workload: per-segment plan-cache amortization ==")
+    jacobian_models = args.jacobian_models or (12 if args.smoke else 25)
+    jacobian_blocks = args.jacobian_blocks or (6 if args.smoke else 8)
+    report["jacobian"] = run_jacobian(jacobian_models, jacobian_blocks)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -973,6 +1086,25 @@ def main(argv=None) -> int:
             f"ERROR: warm-boot plan-cache hit rate "
             f"{persistence['warm_boot_plan_hit_rate']:.3f} below required "
             f"{args.check_plan_hit_rate:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    jacobian = report["jacobian"]
+    if not jacobian["solutions_match"]:
+        print(
+            "ERROR: Jacobian DAG kernel sequences diverged from the "
+            "plan-cache-disabled reference",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.check_dag_plan_hit_rate is not None
+        and jacobian["segment_plan_hit_rate"] < args.check_dag_plan_hit_rate
+    ):
+        print(
+            f"ERROR: Jacobian segment-level plan-cache hit rate "
+            f"{jacobian['segment_plan_hit_rate']:.3f} below required "
+            f"{args.check_dag_plan_hit_rate:.3f}",
             file=sys.stderr,
         )
         return 1

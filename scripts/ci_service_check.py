@@ -14,7 +14,12 @@ worker pool), then drives the acceptance workload against it:
    must report a pooled plan-cache hit rate of at least ``--min-hit-rate``
    (default 0.5) over the warm half (the whole-plan cache of
    :mod:`repro.persist` answers warm signature-equal traffic above the
-   solvers, so it -- not the match cache -- carries the warm hits).
+   solvers, so it -- not the match cache -- carries the warm hits);
+5. a **multi-assignment DAG** program (forward reference to an earlier
+   target plus an inline inverse-of-product that forces a synthetic
+   extraction segment) goes through ``POST /compile``; the response's
+   per-segment assignments -- targets, kernel sequences, and the
+   ``synthetic`` marker -- must match the in-process reference.
 
 With ``--snapshot``, a second phase exercises **snapshot-backed warm
 boot**: the server is restarted against a shared ``--snapshot-dir`` after
@@ -58,8 +63,53 @@ X := A{t}^-1 * B{t} * C{t}^T * D{t}^-1 * E{t}
 """
 
 
+#: Multi-assignment DAG program: ``G`` is referenced by a later line, and
+#: the inline ``(H P^-1 H^T)^-1`` cannot distribute over its rectangular
+#: factors, so the compiler extracts a synthetic segment for the inner
+#: product before inverting its (square, full-rank) result.  (The inner
+#: product deliberately differs from ``G``'s definition -- an identical
+#: subtree would be CSE'd onto the ``G`` segment and no synthetic segment
+#: would appear.)
+DAG_SOURCE = """
+Matrix Hd (50, 90) <>
+Matrix Pd (90, 90) <spd>
+Matrix Bd (50, 40) <>
+G := Hd * Pd * Hd^T
+J := G^-1 * Bd
+K := Pd * Hd^T * (Hd * Pd^-1 * Hd^T)^-1
+"""
+
+
 def tagged_source(tag: str) -> str:
     return TEMPLATE.replace("{t}", tag)
+
+
+def dag_check(base: str) -> int:
+    """Phase: POST the multi-assignment DAG program and compare the
+    per-segment wire payload against an in-process compile."""
+    expected = [
+        (entry.target, list(entry.kernel_sequence), bool(entry.synthetic))
+        for entry in compile_source(DAG_SOURCE).assignments
+    ]
+    if not any(synthetic for _, _, synthetic in expected):
+        return fail("DAG reference produced no synthetic segment")
+    status, body = http_json("POST", f"{base}/compile", {"source": DAG_SOURCE})
+    if status != 200:
+        return fail(f"DAG /compile returned {status}")
+    if not body.get("ok"):
+        return fail(f"DAG request failed: {body.get('error')}")
+    served = [
+        (entry["target"], list(entry["kernels"]), bool(entry.get("synthetic")))
+        for entry in body["assignments"]
+    ]
+    if served != expected:
+        return fail(f"DAG response diverged: {served} != {expected}")
+    print(
+        f"DAG program: {len(served)} segments "
+        f"({sum(1 for _, _, s in served if s)} synthetic), kernel "
+        f"sequences match the in-process reference"
+    )
+    return 0
 
 
 def http_json(method: str, url: str, payload=None, timeout: float = 120.0):
@@ -349,6 +399,10 @@ def main(argv=None) -> int:
             return fail(
                 f"warm pooled hit rate {hit_rate:.3f} < {args.min_hit_rate:.3f}"
             )
+
+        problem = dag_check(base)
+        if problem:
+            return problem
 
         print("SERVICE CHECK PASSED")
     finally:

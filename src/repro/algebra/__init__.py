@@ -11,10 +11,12 @@ from .expression import (
     Expression,
     IdentityMatrix,
     Matrix,
+    Reference,
     ShapeError,
     Temporary,
     Vector,
     ZeroMatrix,
+    signature_digest,
 )
 from .inference import (
     PropertyInference,
@@ -59,7 +61,9 @@ __all__ = [
     "IdentityMatrix",
     "ZeroMatrix",
     "Temporary",
+    "Reference",
     "ShapeError",
+    "signature_digest",
     "Times",
     "Plus",
     "Transpose",

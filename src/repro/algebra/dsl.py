@@ -27,6 +27,25 @@ Grammar (informal)::
 The parser produces :class:`~repro.algebra.expression.Matrix` leaves and the
 operator nodes of :mod:`repro.algebra.operators`; it performs shape checking
 through the expression constructors.
+
+**Multi-assignment programs.**  A program may contain several assignments,
+and the right-hand side of a later assignment may name an earlier target::
+
+    Matrix Yb (300, 60) <>
+    Matrix R (300, 300) <SPD>
+    Matrix Xb (400, 60) <>
+    Matrix S (60, 60) <SPD>
+
+    W := S * Yb^T * R^-1
+    K := Xb * W
+
+Such a use parses to a :class:`~repro.algebra.expression.Reference` leaf
+(name + shape of the defining expression); the segment-decomposition layer
+(:mod:`repro.core.segments`) later replaces it with the producing segment's
+result operand, inferred properties included.  Targets must be defined on an
+earlier line than any use (use-before-definition and self-reference are
+parse errors), targets may not shadow declared operands, and reassigning a
+target makes later references see the latest definition.
 """
 
 from __future__ import annotations
@@ -35,7 +54,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
-from .expression import Expression, Matrix, Vector
+from .expression import Expression, Matrix, Reference, Vector
 from .operators import Inverse, InverseTranspose, Plus, Times, Transpose
 from .properties import Property, PropertyError, parse_property
 
@@ -127,11 +146,26 @@ class Program:
 
 
 class _LineParser:
-    """Recursive-descent parser over the token list of one expression."""
+    """Recursive-descent parser over the token list of one expression.
 
-    def __init__(self, tokens: List[Token], operands: Dict[str, Matrix], line: int) -> None:
+    *targets* maps already-assigned target names to their right-hand sides;
+    a ``NAME`` that is not an operand but is a known target parses to a
+    :class:`~repro.algebra.expression.Reference` leaf carrying the target's
+    shape (multi-assignment programs: later assignments may use earlier
+    results).  Targets assigned on *later* lines are unknown here by
+    construction, so use-before-definition is a parse error.
+    """
+
+    def __init__(
+        self,
+        tokens: List[Token],
+        operands: Dict[str, Matrix],
+        line: int,
+        targets: Optional[Dict[str, Expression]] = None,
+    ) -> None:
         self._tokens = tokens
         self._operands = operands
+        self._targets = targets if targets is not None else {}
         self._line = line
         self._position = 0
 
@@ -215,9 +249,19 @@ class _LineParser:
                 inner = self.parse_expression()
                 self._expect("RPAREN")
                 return Inverse(inner) if lowered == "inv" else Transpose(inner)
-            if token.text not in self._operands:
-                raise ParseError(f"undefined operand {token.text!r}", self._line)
-            return self._operands[token.text]
+            if token.text in self._operands:
+                return self._operands[token.text]
+            if token.text in self._targets:
+                defining = self._targets[token.text]
+                return Reference(
+                    token.text, defining.rows, defining.columns, origin=defining
+                )
+            raise ParseError(
+                f"undefined operand {token.text!r} (operands must be declared "
+                f"and assignment targets defined on an earlier line before "
+                f"they can be referenced)",
+                self._line,
+            )
         raise ParseError(f"unexpected token {token.text!r}", self._line)
 
 
@@ -300,7 +344,19 @@ def _parse_assignment(tokens: List[Token], program: Program, line: int) -> None:
     if len(tokens) < 3 or tokens[0].kind != "NAME" or tokens[1].kind != "ASSIGN":
         raise ParseError("expected 'name := expression' or an operand definition", line)
     target = tokens[0].text
-    parser = _LineParser(tokens[2:], program.operands, line)
+    if target in program.operands:
+        raise ParseError(
+            f"assignment target {target!r} collides with an operand "
+            f"definition; assignment results and declared operands share one "
+            f"namespace",
+            line,
+        )
+    # Earlier targets are referenceable from this right-hand side (for a
+    # reassigned target the *latest* definition wins, matching sequential
+    # assignment semantics).  The target itself is deliberately absent while
+    # its own right-hand side parses, so self-references are parse errors.
+    targets = {name: expr for name, expr in program.assignments}
+    parser = _LineParser(tokens[2:], program.operands, line, targets=targets)
     expr = parser.parse_expression()
     if not parser.at_end():
         raise ParseError("trailing input after expression", line)

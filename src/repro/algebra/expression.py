@@ -419,8 +419,54 @@ class Temporary(Matrix):
         clear_intern_table()
 
 
+class Reference(Matrix):
+    """A leaf standing for the result of an earlier assignment.
+
+    The DSL front-end (:mod:`repro.algebra.dsl`) emits a ``Reference`` when a
+    right-hand side names a previously assigned target: the leaf carries the
+    target's *name* and the shape of its defining expression, but no
+    properties -- properties of an assignment result are *inferred*, and
+    inference belongs to the segment-decomposition layer
+    (:mod:`repro.core.segments`), which replaces every ``Reference`` with the
+    producing segment's result operand before anything is solved.  Keeping
+    the reference a leaf (instead of inlining the defining expression) is
+    what preserves the assignment-DAG boundary through ``Times`` flattening.
+    """
+
+    __slots__ = ("origin",)
+
+    def __init__(
+        self,
+        name: str,
+        rows: int,
+        columns: int,
+        origin: Optional[Expression] = None,
+    ) -> None:
+        super().__init__(name, rows, columns, ())
+        object.__setattr__(self, "origin", origin)
+
+    def _key(self) -> Tuple:
+        # Identity is the referenced target's name plus shape; the defining
+        # expression is metadata (exactly as ``Temporary.origin``).
+        return (self.name, self.rows, self.columns, self.properties)
+
+
 def matrix_properties(expr: Expression) -> FrozenSet[Property]:
     """Return the declared property set of a leaf, or an empty set otherwise."""
     if isinstance(expr, Matrix):
         return expr.properties
     return frozenset()
+
+
+def signature_digest(expr: Expression) -> str:
+    """A short stable digest of :meth:`Expression.signature`.
+
+    Error messages and telemetry need to *name* a sub-expression's
+    name-abstracted signature without dumping the full tuple (which grows
+    with the chain); the digest is a 12-hex-character SHA-1 prefix of the
+    signature's repr, stable across processes for structurally equal
+    expressions.
+    """
+    import hashlib
+
+    return hashlib.sha1(repr(expr.signature()).encode("utf-8")).hexdigest()[:12]

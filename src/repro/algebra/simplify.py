@@ -18,13 +18,21 @@ standard identities::
     (A^T)^-1  = (A^-1)^T = A^-T
     (A^-T)^T  = A^-1
     I * A = A,   A * I = A
+
+Not every expression normalizes to a chain: sums have no chain form, and
+``(A B)^-1`` with non-square ``A``, ``B`` cannot distribute the inverse
+(the identity requires square factors).  Such subtrees are the province of
+the segment-decomposition layer (:mod:`repro.core.segments`), which turns
+the inner product into its own chain segment and wraps the unary around
+the segment's square result operand; :func:`as_chain` remains the strict
+single-chain entry the solvers use.
 """
 
 from __future__ import annotations
 
 from typing import List, Tuple
 
-from .expression import Expression, Matrix
+from .expression import Expression, Matrix, signature_digest
 from .inference import is_identity, is_symmetric
 from .operators import Inverse, InverseTranspose, Plus, Times, Transpose
 
@@ -138,7 +146,10 @@ def as_chain(expr: Expression) -> Tuple[Expression, ...]:
     for factor in factors:
         if not is_chain_factor(factor):
             raise NormalizationError(
-                f"factor {factor} is not a leaf wrapped in at most one unary operator"
+                f"factor {factor} (signature {signature_digest(factor)}) is "
+                f"not a leaf wrapped in at most one unary operator; general "
+                f"expression DAGs compile through repro.frontend.Compiler, "
+                f"which decomposes them into chain segments"
             )
     return tuple(factors)
 

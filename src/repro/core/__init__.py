@@ -4,6 +4,9 @@
   bottom-up DP, memoized DP, brute-force oracle, heuristics.
 * :mod:`repro.core.gmc` -- the Generalized Matrix Chain algorithm
   (Section 3): the paper's contribution.
+* :mod:`repro.core.segments` -- decomposition of assignment DAGs
+  (multi-assignment programs, references, non-chain subtrees, shared
+  subexpressions) into ordered chain segments the solvers accept.
 
 Convenience functions
 ---------------------
@@ -21,6 +24,14 @@ from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import Program
 from ..options import CompileOptions
 from .gmc import GMCAlgorithm, GMCSolution, UncomputableChainError
+from .segments import (
+    ChainSegment,
+    SegmentPlan,
+    SegmentTelemetry,
+    UncomputableSegmentError,
+    decompose_program,
+    segment_telemetry,
+)
 from .topdown import TopDownGMC, TopDownSolution
 from .mcp import (
     MatrixChainDP,
@@ -86,6 +97,12 @@ __all__ = [
     "TopDownGMC",
     "TopDownSolution",
     "UncomputableChainError",
+    "UncomputableSegmentError",
+    "ChainSegment",
+    "SegmentPlan",
+    "SegmentTelemetry",
+    "decompose_program",
+    "segment_telemetry",
     "make_solver",
     "MatrixChainDP",
     "matrix_chain_order",

@@ -50,7 +50,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional, Sequence, Tuple, Union
 
-from ..algebra.expression import Expression, Matrix, Temporary
+from ..algebra.expression import Expression, Matrix, Temporary, signature_digest
 from ..algebra.inference import infer_properties
 from ..algebra.interning import intern
 from ..algebra.operators import Times
@@ -121,7 +121,25 @@ def coerce_solver_options(
 
 
 class UncomputableChainError(RuntimeError):
-    """Raised when no parenthesization of the chain maps onto the catalog."""
+    """Raised when no parenthesization of the chain maps onto the catalog.
+
+    Carries structured context alongside the message: ``segment`` names the
+    chain segment of the enclosing program that failed (``None`` outside the
+    DAG pipeline) and ``signature`` is the name-abstracted signature of the
+    sub-expression that could not be computed, so callers can report *what*
+    failed rather than a bare ``(i, j)`` cell index.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        segment: Optional[str] = None,
+        signature: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.segment = segment
+        self.signature = signature
 
 
 def _uncomputable_message(solution) -> str:
@@ -139,7 +157,8 @@ def _uncomputable_message(solution) -> str:
             f"complete=False); retry with a larger deadline_s"
         )
     return (
-        f"no kernel sequence computes {solution.expression} with catalog "
+        f"no kernel sequence computes {solution.expression} (signature "
+        f"{signature_digest(solution.expression)}) with catalog "
         f"{solution.catalog.name}"
     )
 
@@ -231,10 +250,18 @@ class GMCSolution:
         if i == j:
             return
         if not self.computable:
-            raise UncomputableChainError(_uncomputable_message(self))
+            raise UncomputableChainError(
+                _uncomputable_message(self),
+                signature=self.expression.signature(),
+            )
         choice = self.choices[i][j]
         if choice is None:  # pragma: no cover - guarded by ``computable``
-            raise UncomputableChainError(f"sub-chain M[{i}..{j}] is not computable")
+            sub = Times(*self.factors[i : j + 1])
+            raise UncomputableChainError(
+                f"sub-chain M[{i}..{j}] = {sub} (signature "
+                f"{signature_digest(sub)}) is not computable",
+                signature=sub.signature(),
+            )
         k = choice.split
         yield from self.construct_solution(i, k)
         yield from self.construct_solution(k + 1, j)
@@ -364,7 +391,10 @@ class GMCAlgorithm:
         """
         solution = self.solve(chain)
         if not solution.computable:
-            raise UncomputableChainError(_uncomputable_message(solution))
+            raise UncomputableChainError(
+                _uncomputable_message(solution),
+                signature=solution.expression.signature(),
+            )
         return solution.program(strategy_name)
 
     # ------------------------------------------------------------ internals

@@ -116,7 +116,10 @@ class TopDownSolution:
         if i == j:
             return
         if not self.computable:
-            raise UncomputableChainError(_uncomputable_message(self))
+            raise UncomputableChainError(
+                _uncomputable_message(self),
+                signature=self.expression.signature(),
+            )
         cell = self.table[(i, j)]
         yield from self.construct_solution(i, cell.split)
         yield from self.construct_solution(cell.split + 1, j)

@@ -10,6 +10,13 @@ so the test-suite and benchmark defaults stay laptop-friendly) while
 enforcing well-formedness: adjacent dimensions match, only square operands
 are inverted, and square-only properties are only attached to square
 operands.
+
+Beyond random chains, :func:`jacobian_workload` generates the Solverz-style
+DAG traffic the plan cache is built for: a small symbolic model (equations
+``f_k = A_k G^-1 B_k x_k`` over a shared Gram matrix ``G = H P H^T``) is
+differentiated per state vector (:func:`differentiate_product`), yielding
+many structurally-sibling multi-assignment DAG programs whose segments all
+share a handful of name-abstracted signatures.
 """
 
 from __future__ import annotations
@@ -19,9 +26,9 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..algebra.expression import Expression, Matrix
-from ..algebra.operators import Times
+from ..algebra.operators import Inverse, Times
 from ..algebra.properties import Property
-from ..algebra.simplify import wrap_leaf
+from ..algebra.simplify import unary_decomposition, wrap_leaf
 
 #: The property choices of Section 4 ("may have one of the following
 #: properties"), including "no property".
@@ -280,4 +287,140 @@ def named_examples() -> Dict[str, TestProblem]:
         seed=0,
     )
 
+    return problems
+
+
+# ---------------------------------------------------------------------------
+# Jacobian DAG workload (Solverz-style plan-cache stress traffic).
+# ---------------------------------------------------------------------------
+
+def differentiate_product(
+    factors: Sequence[Expression], wrt: Matrix
+) -> Optional[Tuple[Expression, ...]]:
+    """The Jacobian of a product chain with respect to a trailing operand.
+
+    For a chain ``f0 * f1 * ... * f(n-1)`` that is *linear* in *wrt* with the
+    occurrence in tail position (``f(n-1) is wrt``, the shape symbolic-model
+    equations take: ``A G^-1 B x`` for state vector ``x``), the derivative is
+    the prefix product ``f0 ... f(n-2)``.  Returns ``None`` when *wrt* does
+    not occur (the zero block of a sparse Jacobian).  Occurrences that are
+    not a bare tail leaf (wrapped, interior, or repeated -- a nonlinear
+    dependency) raise :class:`ValueError`; this helper covers exactly the
+    model shape :func:`jacobian_workload` generates, not general matrix
+    calculus.
+    """
+    factors = tuple(factors)
+    if not factors:
+        return None
+
+    def mentions(factor: Expression) -> bool:
+        leaf, _, _ = (
+            unary_decomposition(factor)
+            if not isinstance(factor, Matrix)
+            else (factor, False, False)
+        )
+        return leaf == wrt
+
+    occurrences = [index for index, factor in enumerate(factors) if mentions(factor)]
+    if not occurrences:
+        return None
+    if occurrences != [len(factors) - 1] or factors[-1] != wrt:
+        raise ValueError(
+            f"cannot differentiate: {wrt} must occur exactly once, as the "
+            f"bare trailing factor of the product"
+        )
+    return factors[:-1]
+
+
+@dataclass(frozen=True)
+class JacobianProblem:
+    """One model instance of the Jacobian workload: a DAG program.
+
+    ``source`` is a multi-assignment DSL program: the shared Gram segment
+    ``G := H * P * H^T`` followed by one Jacobian block per equation, each
+    referencing ``G``.  ``targets`` lists the block targets (``J1``, ...).
+    """
+
+    identifier: str
+    source: str
+    targets: Tuple[str, ...]
+    model_index: int
+
+    def __str__(self) -> str:
+        return f"{self.identifier}: {len(self.targets)} Jacobian blocks"
+
+
+def _render_factor(factor: Expression) -> str:
+    """A chain factor in DSL syntax (``X``, ``X^T``, ``X^-1``, ``X^-T``)."""
+    leaf, transposed, inverted = unary_decomposition(factor)
+    suffix = {(False, False): "", (True, False): "^T", (False, True): "^-1",
+              (True, True): "^-T"}[(transposed, inverted)]
+    return f"{leaf.name}{suffix}"
+
+
+def jacobian_workload(
+    models: int = 12,
+    blocks: int = 6,
+    *,
+    outputs: int = 70,
+    gram: int = 50,
+    latent: int = 90,
+    states: int = 40,
+) -> List[JacobianProblem]:
+    """Structurally-sibling Jacobian DAG programs from a symbolic model.
+
+    Each of the *models* instances carries equations
+    ``f_k := A_k * G^-1 * B_k * x_k`` (``k = 1..blocks``) over one shared
+    Gram matrix ``G := H * P * H^T`` (``H``: *gram* x *latent*, ``P``: SPD,
+    so ``G`` is symmetric positive semi-definite by inference).  The
+    workload symbolically differentiates every equation with respect to its
+    state vector (:func:`differentiate_product`) and emits the non-zero
+    blocks as one multi-assignment DAG program per model.
+
+    Every block segment shares one name-abstracted signature and every Gram
+    segment another, so a warm compiler session should miss the plan cache
+    roughly twice for the whole workload -- the segment-level hit rate
+    approaches ``1 - 2 / (models * (blocks + 1))``.  This is the repo's
+    stand-in for Solverz-style generated-module traffic, where Jacobian
+    expansion of a small model yields hundreds of sibling expressions.
+    """
+    if models < 1 or blocks < 1:
+        raise ValueError("models and blocks must be positive")
+    problems: List[JacobianProblem] = []
+    for m in range(models):
+        h = Matrix(f"H_{m}", gram, latent)
+        p = Matrix(f"P_{m}", latent, latent, {Property.SPD})
+        # Placeholder leaf for the shared Gram result; the DSL parser turns
+        # the name into a Reference to the ``G`` assignment, and the segment
+        # layer substitutes the inferred-property result operand.
+        g = Matrix("G", gram, gram)
+        lines = [
+            f"Matrix {h.name} ({gram}, {latent}) <>",
+            f"Matrix {p.name} ({latent}, {latent}) <SPD>",
+        ]
+        assignments = [f"G := {h.name} * {p.name} * {h.name}^T"]
+        targets: List[str] = []
+        for k in range(1, blocks + 1):
+            a_k = Matrix(f"A_{m}_{k}", outputs, gram)
+            b_k = Matrix(f"B_{m}_{k}", gram, states)
+            x_k = Matrix(f"x_{m}_{k}", states, 1)
+            lines.append(f"Matrix {a_k.name} ({outputs}, {gram}) <>")
+            lines.append(f"Matrix {b_k.name} ({gram}, {states}) <>")
+            equation = (a_k, Inverse(g), b_k, x_k)
+            block = differentiate_product(equation, x_k)
+            if block is None:  # pragma: no cover - every equation has a state
+                continue
+            target = f"J{k}"
+            targets.append(target)
+            rendered = " * ".join(_render_factor(factor) for factor in block)
+            assignments.append(f"{target} := {rendered}")
+        source = "\n".join(lines + [""] + assignments) + "\n"
+        problems.append(
+            JacobianProblem(
+                identifier=f"jacobian{m:03d}",
+                source=source,
+                targets=tuple(targets),
+                model_index=m,
+            )
+        )
     return problems

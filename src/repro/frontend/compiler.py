@@ -25,6 +25,7 @@ that run one compilation on a throwaway session; their pre-options
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from dataclasses import dataclass, field
@@ -35,9 +36,15 @@ from ..algebra.dsl import parse_program
 from ..algebra.expression import Expression, Matrix
 from ..codegen import available_emitters, get_emitter
 from ..core import make_solver
+from ..core.gmc import UncomputableChainError
+from ..core.segments import (
+    UncomputableSegmentError,
+    decompose_program,
+    segment_telemetry,
+)
 from ..cost.metrics import CostMetric, resolve_metric
 from ..kernels.catalog import KernelCatalog
-from ..kernels.kernel import Program
+from ..kernels.kernel import KernelCall, Program
 from ..options import CompileOptions, warn_legacy
 from ..persist.plan_cache import PlanCache
 from ..telemetry import reset as _telemetry_reset
@@ -46,12 +53,23 @@ from ..telemetry import snapshot as _telemetry_snapshot
 
 @dataclass
 class CompiledAssignment:
-    """The compilation result for one assignment of the input program."""
+    """The compilation result for one chain segment of the input program.
+
+    User assignments map to segments one-to-one; the decomposition layer
+    (:mod:`repro.core.segments`) may additionally create *synthetic*
+    segments (``synthetic=True``, ``_sN`` targets) for non-chain subtrees
+    and shared subexpressions.  ``expression`` is the canonical chain that
+    was solved (references resolved to earlier segments' result operands);
+    ``result_operand`` is the operand later segments -- and the stitched
+    program -- use for this segment's value.
+    """
 
     target: str
     expression: Expression
     solution: object  # GMCSolution or TopDownSolution
     program: Program
+    synthetic: bool = False
+    result_operand: Optional[Expression] = None
 
     @property
     def kernel_sequence(self) -> List[str]:
@@ -75,8 +93,9 @@ class CompiledAssignment:
         return self.emit("numpy")
 
     def summary(self) -> str:
+        marker = "  (synthetic segment)" if self.synthetic else ""
         return (
-            f"{self.target} := {self.expression}\n"
+            f"{self.target} := {self.expression}{marker}\n"
             f"  parenthesization: {self.solution.parenthesization()}\n"
             f"  kernels:          {' -> '.join(self.kernel_sequence)}\n"
             f"  FLOPs:            {self.flops:.4g}\n"
@@ -158,11 +177,78 @@ class CompilationResult:
     def total_flops(self) -> float:
         return sum(compiled.flops for compiled in self.assignments)
 
+    @property
+    def targets(self) -> List[str]:
+        """User assignment targets, in program order (synthetic excluded)."""
+        return [c.target for c in self.assignments if not c.synthetic]
+
+    def stitched_program(self) -> Program:
+        """One topologically-ordered kernel program for the whole DAG.
+
+        Per-segment kernel calls are concatenated in segment order (segments
+        come out of the decomposition dependency-ordered, so every call's
+        inputs are operands or outputs of earlier calls) and each
+        multi-kernel segment's final call is renamed to write the segment's
+        result operand -- the named temporary later segments reference.  The
+        program's output is the last user assignment's result.
+        """
+        calls: List[KernelCall] = []
+        output: Optional[Expression] = None
+        expression: Optional[Expression] = None
+        for compiled in self.assignments:
+            seg_calls = list(compiled.program.calls)
+            if seg_calls and isinstance(compiled.result_operand, Matrix):
+                seg_calls[-1] = dataclasses.replace(
+                    seg_calls[-1], output=compiled.result_operand
+                )
+            calls.extend(seg_calls)
+            if not compiled.synthetic:
+                expression = compiled.expression
+                if seg_calls:
+                    output = seg_calls[-1].output
+                else:
+                    # Trivial (alias) segment: its value is an existing
+                    # operand or an earlier segment's result.
+                    output = (
+                        compiled.result_operand
+                        if compiled.result_operand is not None
+                        else compiled.program.output
+                    )
+        return Program(
+            calls=calls,
+            output=output,
+            expression=expression,
+            strategy="GMC[stitched]",
+        )
+
     def emit(self, target_language: str) -> str:
-        """Source for the whole program via any registered emitter."""
+        """Source for the whole program via any registered emitter.
+
+        Each segment (user assignments and synthetic CSE/extraction
+        segments alike) becomes its own function; synthetic results appear
+        as input parameters of the functions that consume them.  Use
+        :meth:`emit_stitched` for one self-contained function computing the
+        whole DAG.
+        """
         return "\n\n".join(
             compiled.emit(target_language) for compiled in self.assignments
         )
+
+    def emit_stitched(
+        self, target_language: str, function_name: Optional[str] = None
+    ) -> str:
+        """Source for the whole DAG as ONE function (the stitched program).
+
+        The function takes the declared operands that actually appear in
+        kernel calls and computes every segment in dependency order; it is
+        named after the last user assignment target unless *function_name*
+        overrides it.
+        """
+        emitter = get_emitter(target_language)
+        if function_name is None:
+            targets = self.targets
+            function_name = targets[-1] if targets else "program"
+        return emitter.emit(self.stitched_program(), function_name)
 
     def julia(self) -> str:
         """Julia-flavoured source for the whole program (``emit("julia")``)."""
@@ -308,24 +394,36 @@ class Compiler:
         single anonymous assignment (target ``X``).  Returns a
         :class:`CompilationResult` carrying the effective options.
 
-        When ``options.plan_cache`` is on (the default), each assignment
-        first consults the session's :class:`~repro.persist.PlanCache`: a
+        The program is first normalized into ordered chain segments
+        (:func:`repro.core.segments.decompose_program`): later assignments
+        may reference earlier targets, non-chain subtrees (inverses or
+        transposes around products that cannot be pushed to the leaves)
+        become synthetic segments, and shared subexpressions are solved
+        once.  Each segment is solved independently.
+
+        When ``options.plan_cache`` is on (the default), each segment first
+        consults the session's :class:`~repro.persist.PlanCache`: a
         signature-equal chain solved before under the same options
         fingerprint skips the dynamic program entirely and re-binds the
         cached plan to this request's operands.  Fresh solves (complete,
-        computable ones) are stored back.
+        computable ones) are stored back.  Because caching is per segment,
+        structurally-sibling DAGs (e.g. Jacobian blocks of one model)
+        amortize: every segment they share a signature with is a hit.
         """
         requested = options if options is not None else self.options
         if overrides:
             requested = requested.replace(**overrides)
         effective = self._effective_options(requested, {})
         program = self._coerce_program(problem)
+        plan = decompose_program(program)
         result = CompilationResult(
             operands=dict(program.operands), options=effective
         )
         use_plan_cache = requested.plan_cache
+        telemetry = segment_telemetry()
         solver = None  # built on the first plan-cache miss
-        for target, expression in program.assignments:
+        for seg in plan:
+            expression = seg.expression
             solution = None
             if use_plan_cache:
                 started = time.perf_counter()
@@ -339,19 +437,38 @@ class Compiler:
                     # cost, not just the dict lookup.
                     solution.kernel_calls()
                     solution.generation_time = time.perf_counter() - started
+                if not seg.trivial:
+                    # Trivial (single-factor) segments register a cache
+                    # bypass above but are not segment traffic: nothing is
+                    # solved, so they would dilute the segment hit rate.
+                    telemetry.record_lookup(solution is not None)
             if solution is None:
                 if solver is None:
                     solver = make_solver(effective)
                 solution = solver.solve(expression)
                 if use_plan_cache:
                     self.plan_cache.store(expression, requested, solution)
-            kernel_program = solution.program(strategy_name=f"GMC[{target}]")
+            try:
+                kernel_program = solution.program(
+                    strategy_name=f"GMC[{seg.target}]"
+                )
+            except UncomputableSegmentError:
+                raise
+            except UncomputableChainError as exc:
+                raise UncomputableSegmentError(
+                    f"segment {seg.target!r} ({seg.source}): {exc}",
+                    segment=seg.target,
+                    signature=getattr(exc, "signature", None)
+                    or expression.signature(),
+                ) from exc
             result.add(
                 CompiledAssignment(
-                    target=target,
+                    target=seg.target,
                     expression=expression,
                     solution=solution,
                     program=kernel_program,
+                    synthetic=seg.synthetic,
+                    result_operand=seg.result,
                 )
             )
         return result

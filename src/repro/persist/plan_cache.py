@@ -27,6 +27,16 @@ a plan when the whole pipeline configuration matches.  Recipes are plain
 data (ints, strings), which is what makes the cache snapshottable to disk
 (:mod:`repro.persist.snapshot`).
 
+Since the DAG pipeline (:mod:`repro.core.segments`) landed, keys are
+naturally **segment-level**: the compiler consults the cache once per chain
+segment of a decomposed program, and a segment's leaves may be the named
+:class:`~repro.algebra.expression.Temporary` results of earlier segments --
+the signature abstracts their names but keeps their inferred properties, so
+structurally-sibling DAG programs (Jacobian blocks of one model) hit on
+every segment they share a shape with.  Unresolved
+:class:`~repro.algebra.expression.Reference` leaves bypass the cache: a
+reference's signature does not capture its defining expression.
+
 Invalidation mirrors the match cache, because a plan embeds strictly more
 catalog semantics than a match result:
 
@@ -52,7 +62,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from ..algebra.expression import Expression, Matrix, Temporary
+from ..algebra.expression import Expression, Matrix, Reference, Temporary
 from ..algebra.inference import (
     infer_properties,
     registry_is_customized,
@@ -386,6 +396,15 @@ class PlanCache:
         factors = tuple(intern(factor) for factor in factors)
         for factor in factors:
             for node in factor.preorder():
+                if isinstance(node, Reference):
+                    # An unresolved reference leaf stands for the result of
+                    # another assignment; its signature does not capture the
+                    # defining expression's structure or inferred properties,
+                    # so caching on it would alias distinct programs.  The
+                    # segment layer resolves references into result operands
+                    # (named temporaries with inferred properties) *before*
+                    # the cache is consulted.
+                    return None
                 if not node.children and not isinstance(node, Matrix):
                     return None  # wildcard/opaque leaf: signature incomplete
         return factors

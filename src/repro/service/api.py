@@ -79,6 +79,11 @@ class CompileRequest:
         a list of ``{"target": str, "expression": str}`` where the
         expression uses the Fig. 1 grammar (``A^-1 * B * C^T``).
 
+    Multi-assignment DAG programs travel unchanged in either form: a later
+    expression may reference an earlier target, and the response then
+    carries one :class:`AssignmentResult` per chain *segment* -- user
+    targets plus any ``synthetic`` segments the decomposition created.
+
     Pipeline options live in ``options`` (a
     :class:`~repro.options.CompileOptions`); the pre-PR 4 loose keywords
     (``metric=``, ``solver=``, ``emit=``, ``prune=``, ``use_match_cache=``)
@@ -233,6 +238,10 @@ class AssignmentResult:
     #: ``False`` when the solver's per-request deadline expired and the
     #: plan is the best-so-far rather than the proven optimum.
     complete: bool = True
+    #: ``True`` for segments the DAG decomposition created (extracted
+    #: non-chain subtrees, shared subexpressions) rather than user
+    #: assignments; their ``_sN`` targets are referenced by later entries.
+    synthetic: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -245,6 +254,7 @@ class AssignmentResult:
             "generation_time_s": self.generation_time_s,
             "code": dict(self.code),
             "complete": self.complete,
+            "synthetic": self.synthetic,
         }
 
     @classmethod
@@ -259,6 +269,7 @@ class AssignmentResult:
             generation_time_s=payload["generation_time_s"],
             code=dict(payload.get("code", {})),
             complete=bool(payload.get("complete", True)),
+            synthetic=bool(payload.get("synthetic", False)),
         )
 
 
@@ -378,6 +389,7 @@ def execute_request(
                     generation_time_s=getattr(entry.solution, "generation_time", 0.0),
                     code=code,
                     complete=bool(getattr(entry.solution, "complete", True)),
+                    synthetic=bool(getattr(entry, "synthetic", False)),
                 )
             )
         solve_s = time.perf_counter() - solve_started

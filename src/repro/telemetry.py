@@ -22,7 +22,11 @@ each of which exposes the uniform ``stats()`` / ``reset_stats()`` protocol
 * the **solver work counters**
   (:class:`repro.core.parallel.SolverWorkTelemetry`) -- DP cells
   evaluated, split candidates pruned and anti-diagonals entered, summed
-  over every solve the process ran (serial or parallel).
+  over every solve the process ran (serial or parallel);
+* the **segment counters**
+  (:class:`repro.core.segments.SegmentTelemetry`) -- DAG programs
+  decomposed, chain segments produced, synthetic segments, CSE reuses and
+  the per-segment plan-cache hits/misses recorded by the compiler loop.
 
 This module never mutates pipeline state beyond ``reset_stats``; it only
 *reads* the counters the layers maintain themselves, so the service layer
@@ -41,6 +45,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 from .algebra.inference import inference_engine
 from .algebra.interning import default_interner
 from .core.parallel import solver_work_telemetry
+from .core.segments import segment_telemetry
 from .cost.metrics import CostMetric
 from .kernels.catalog import KernelCatalog, default_catalog
 
@@ -54,6 +59,7 @@ CACHE_LAYERS = (
     "inference",
     "kernel_cost",
     "solver",
+    "segments",
 )
 
 #: Counter keys that add up across workers / metric instances.
@@ -70,6 +76,10 @@ _SUMMED_KEYS = (
     "cells_evaluated",
     "cells_pruned",
     "diagonals",
+    "programs",
+    "segments",
+    "synthetic",
+    "cse_reuses",
 )
 
 
@@ -136,6 +146,7 @@ def snapshot(
         "inference": inference_engine().stats(),
         "kernel_cost": kernel_cost,
         "solver": solver_work_telemetry().stats(),
+        "segments": segment_telemetry().stats(),
     }
 
 
@@ -152,6 +163,7 @@ def reset(
     default_interner().reset_stats()
     inference_engine().reset_stats()
     solver_work_telemetry().reset_stats()
+    segment_telemetry().reset_stats()
     for metric in (metrics or {}).values():
         metric.reset_stats()
 

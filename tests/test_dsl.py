@@ -141,6 +141,69 @@ class TestExpressions:
             parse_expression("A * B", operands)
 
 
+class TestAssignmentReferences:
+    """Multi-assignment programs: later lines may reference earlier targets."""
+
+    SOURCE = """
+Matrix A (10, 20) <>
+Matrix B (20, 20) <SPD>
+G := A * B * A^T
+J := G^-1 * A
+"""
+
+    def test_reference_leaf_is_emitted(self):
+        from repro.algebra import Reference
+
+        program = parse_program(self.SOURCE)
+        _, expr = program.assignments[1]
+        inverse = expr.children[0]
+        assert isinstance(inverse, Inverse)
+        assert isinstance(inverse.operand, Reference)
+        assert inverse.operand.name == "G"
+
+    def test_reference_takes_shape_from_defining_expression(self):
+        program = parse_program(self.SOURCE)
+        _, expr = program.assignments[1]
+        reference = expr.children[0].operand
+        assert reference.shape == (10, 10)
+        assert reference.origin == program.expression("G")
+
+    def test_reference_is_distinct_from_plain_matrix(self):
+        from repro.algebra import Reference
+
+        program = parse_program(self.SOURCE)
+        reference = program.assignments[1][1].children[0].operand
+        assert reference != Matrix("G", 10, 10)
+        assert reference == Reference("G", 10, 10, origin=reference.origin)
+
+    def test_use_before_definition_raises(self):
+        with pytest.raises(ParseError, match="undefined operand 'J'"):
+            parse_program(
+                "Matrix A (5, 5) <>\n"
+                "X := J * A\n"
+                "J := A * A\n"
+            )
+
+    def test_self_reference_raises(self):
+        with pytest.raises(ParseError, match="undefined operand 'X'"):
+            parse_program("Matrix A (5, 5) <>\nX := X * A")
+
+    def test_target_colliding_with_operand_raises(self):
+        with pytest.raises(ParseError, match="collides with an operand"):
+            parse_program("Matrix A (5, 5) <>\nA := A * A")
+
+    def test_reassignment_latest_definition_wins(self):
+        program = parse_program(
+            "Matrix A (5, 5) <>\n"
+            "T := A * A\n"
+            "T := A * A * A\n"
+            "X := T * A\n"
+        )
+        reference = program.assignments[2][1].children[0]
+        assert reference.origin == program.assignments[1][1]
+        assert len(reference.origin.children) == 3
+
+
 class TestProgramRoundTrip:
     def test_parsed_expression_is_solvable(self):
         from repro.core import solve_chain
