@@ -33,9 +33,10 @@ snapshot-check:
 api-check:
 	$(PYTHON) scripts/ci_api_check.py
 
-## CI-sized benchmark (fails on legacy/memoized solution divergence).
+## CI-sized benchmark (fails on legacy/memoized solution divergence or a
+## measurable untraced-hot-path overhead from the observability layer).
 bench-smoke:
-	$(PYTHON) scripts/bench_generation.py --smoke --output bench_smoke.json
+	$(PYTHON) scripts/bench_generation.py --smoke --check-trace-overhead 0.03 --output bench_smoke.json
 
 ## Paper-reproduction benchmark suite (pytest-benchmark).
 paper-benchmarks:

@@ -58,6 +58,13 @@ thread dispatch).  ``--check-parallel-identity`` turns the identity
 assertion into a hard CI gate; ``--check-parallel-speedup X`` gates the
 aggregate speedup.
 
+A sixth section gates **trace overhead** (:mod:`repro.obs`): warm repeated
+solves on a never-traced solver vs the same untraced path on a solver that
+ran one traced solve first (any instrumentation the traced fill failed to
+clean up would slow every later cell), plus the informational traced-on
+cost.  ``--check-trace-overhead X`` (CI uses 0.03) fails the run when the
+untraced hot path is not measurably free.
+
 For every chain all configurations must produce identical solutions
 (optimal cost and parenthesization); the script asserts this and records the
 outcome, so the benchmark doubles as an end-to-end equivalence check on the
@@ -379,6 +386,123 @@ def run_parallel(chain_lengths, seed, repeats=5, policy="threads:2"):
         f"speedup {entry['overall']['speedup']:5.2f}x"
     )
     return entry
+
+
+def run_trace_overhead(lengths, seed, repeats=11, solves_per_sample=20):
+    """Gate: the untraced hot path stays measurably free of tracing cost.
+
+    Three solver instances run warm repeated solves of the same chains,
+    interleaved within every repeat so scheduler drift hits all arms
+    equally (best-of-*repeats* per arm, *solves_per_sample* solves per
+    timing sample so sub-millisecond warm solves stay measurable):
+
+    * **baseline** -- tracing disabled, the solver never traced;
+    * **post-traced** -- tracing disabled *now*, but the solver ran one
+      traced solve first.  The traced serial fill installs per-cell
+      instance-attribute timing wrappers and must remove them in its
+      ``try/finally``; if that cleanup ever leaks, this arm pays the
+      wrapper cost on every subsequent cell and the gate trips;
+    * **traced on** -- a live tracer (reported, not gated: per-diagonal
+      spans and per-cell timing wrappers are real, opted-in work).
+
+    ``--check-trace-overhead X`` fails the run when the post-traced arm is
+    more than ``X`` slower than the baseline (CI uses 0.03: the untraced
+    path must stay within 3% -- dispatch hoisting means its only tracing
+    cost is an ``is None`` test per solve, never per DP cell).
+    """
+    from repro.obs.trace import Tracer
+
+    per_length = []
+    mismatches = []
+    arms = ("baseline", "post_traced", "traced_on")
+    for length in lengths:
+        problem = make_problems(length, 1, seed + 31_000 + length)[0]
+        algorithms = {}
+        for arm in arms:
+            catalog = KernelCatalog(build_default_kernels(), name=f"bench-{arm}")
+            algorithms[arm] = GMCAlgorithm(
+                CompileOptions(catalog=catalog, metric=FlopCount())
+            )
+        # Warm-up solve per arm (fills each arm's private caches equally);
+        # the post-traced arm's warm-up runs traced, then drops the tracer.
+        reference = algorithms["baseline"].solve(problem.expression)
+        algorithms["post_traced"].tracer = Tracer()
+        traced_solution = algorithms["post_traced"].solve(problem.expression)
+        algorithms["post_traced"].tracer = None
+        algorithms["traced_on"].tracer = Tracer()
+        algorithms["traced_on"].solve(problem.expression)
+        if _solutions_differ(reference, traced_solution):
+            mismatches.append(f"length {length}")
+
+        best = {arm: math.inf for arm in arms}
+        for _ in range(repeats):
+            for arm in arms:
+                algorithm = algorithms[arm]
+                if arm == "traced_on":
+                    algorithm.tracer = Tracer()  # fresh tree, bounded memory
+                start = time.perf_counter()
+                for _ in range(solves_per_sample):
+                    algorithm.solve(problem.expression)
+                best[arm] = min(best[arm], time.perf_counter() - start)
+
+        entry = {
+            "length": length,
+            "solves_per_sample": solves_per_sample,
+            "baseline_s": best["baseline"],
+            "post_traced_s": best["post_traced"],
+            "traced_on_s": best["traced_on"],
+            "untraced_overhead": (
+                best["post_traced"] / best["baseline"] - 1.0
+                if best["baseline"] > 0
+                else math.inf
+            ),
+            "traced_on_overhead": (
+                best["traced_on"] / best["baseline"] - 1.0
+                if best["baseline"] > 0
+                else math.inf
+            ),
+        }
+        per_length.append(entry)
+        print(
+            f"length {length:2d}: baseline {best['baseline'] * 1e3:8.2f} ms, "
+            f"post-traced {best['post_traced'] * 1e3:8.2f} ms "
+            f"({entry['untraced_overhead'] * 100:+6.2f}%), traced on "
+            f"{best['traced_on'] * 1e3:8.2f} ms "
+            f"({entry['traced_on_overhead'] * 100:+6.2f}%)"
+        )
+
+    baseline_total = sum(entry["baseline_s"] for entry in per_length)
+    post_total = sum(entry["post_traced_s"] for entry in per_length)
+    traced_total = sum(entry["traced_on_s"] for entry in per_length)
+    overall = {
+        "baseline_total_s": baseline_total,
+        "post_traced_total_s": post_total,
+        "traced_on_total_s": traced_total,
+        "untraced_overhead": (
+            post_total / baseline_total - 1.0 if baseline_total > 0 else math.inf
+        ),
+        "traced_on_overhead": (
+            traced_total / baseline_total - 1.0 if baseline_total > 0 else math.inf
+        ),
+    }
+    print(
+        f"trace overhead: untraced {overall['untraced_overhead'] * 100:+6.2f}% "
+        f"(gated), traced on {overall['traced_on_overhead'] * 100:+6.2f}% "
+        f"(informational)"
+    )
+    return {
+        "description": (
+            "tracing stays free when disabled: warm repeated solves on a "
+            "never-traced solver vs a solver that ran one traced solve "
+            "first (leaked instrumentation would slow every later cell) vs "
+            "a live tracer; solutions asserted identical"
+        ),
+        "repeats": repeats,
+        "per_length": per_length,
+        "overall": overall,
+        "solutions_match": not mismatches,
+        "mismatches": mismatches,
+    }
 
 
 def problem_source(problem, tag):
@@ -928,6 +1052,17 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-trace-overhead",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the untraced hot path's overhead vs a "
+            "never-traced baseline stays below X (CI uses 0.03: tracing "
+            "must be measurably free when disabled)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
@@ -978,6 +1113,9 @@ def main(argv=None) -> int:
     jacobian_models = args.jacobian_models or (12 if args.smoke else 25)
     jacobian_blocks = args.jacobian_blocks or (6 if args.smoke else 8)
     report["jacobian"] = run_jacobian(jacobian_models, jacobian_blocks)
+    print("\n== trace overhead: untraced hot path vs never-traced baseline ==")
+    trace_lengths = (10, 12) if args.smoke else (10, 12, 14)
+    report["trace_overhead"] = run_trace_overhead(trace_lengths, args.seed)
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -1105,6 +1243,25 @@ def main(argv=None) -> int:
             f"ERROR: Jacobian segment-level plan-cache hit rate "
             f"{jacobian['segment_plan_hit_rate']:.3f} below required "
             f"{args.check_dag_plan_hit_rate:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    trace_overhead = report["trace_overhead"]
+    if not trace_overhead["solutions_match"]:
+        print(
+            "ERROR: traced solves diverged from untraced solves",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.check_trace_overhead is not None
+        and trace_overhead["overall"]["untraced_overhead"]
+        >= args.check_trace_overhead
+    ):
+        print(
+            f"ERROR: untraced hot-path overhead "
+            f"{trace_overhead['overall']['untraced_overhead'] * 100:.2f}% not "
+            f"below the required {args.check_trace_overhead * 100:.2f}%",
             file=sys.stderr,
         )
         return 1

@@ -51,6 +51,7 @@ SURFACE_MODULES = (
     "repro.service",
     "repro.telemetry",
     "repro.persist",
+    "repro.obs",
 )
 
 

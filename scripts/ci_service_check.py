@@ -19,7 +19,14 @@ worker pool), then drives the acceptance workload against it:
    target plus an inline inverse-of-product that forces a synthetic
    extraction segment) goes through ``POST /compile``; the response's
    per-segment assignments -- targets, kernel sequences, and the
-   ``synthetic`` marker -- must match the in-process reference.
+   ``synthetic`` marker -- must match the in-process reference;
+6. **observability**: ``GET /metrics`` must return well-formed Prometheus
+   text exposition carrying every cache-telemetry layer
+   (:data:`repro.telemetry.CACHE_LAYERS`), the pool gauges and the
+   per-endpoint latency histograms (monotone cumulative buckets ending in
+   ``le="+Inf"``), and every response must echo the client's
+   ``X-Request-Id`` header (which also lands as the response body's
+   ``request_id`` after riding through a pool worker).
 
 With ``--snapshot``, a second phase exercises **snapshot-backed warm
 boot**: the server is restarted against a shared ``--snapshot-dir`` after
@@ -50,6 +57,7 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.frontend import compile_source  # noqa: E402
+from repro.telemetry import CACHE_LAYERS  # noqa: E402
 
 #: One moderately rich chain structure; tagged copies are structurally
 #: similar (signature-equal), the workload the warm pool amortizes.
@@ -121,6 +129,87 @@ def http_json(method: str, url: str, payload=None, timeout: float = 120.0):
         return response.status, json.loads(response.read())
 
 
+def http_raw(method: str, url: str, payload=None, headers=None, timeout: float = 120.0):
+    """Like :func:`http_json` but also returns the response headers (and the
+    body as text) -- the observability phase inspects ``X-Request-Id`` and
+    the non-JSON ``/metrics`` exposition."""
+    data = None if payload is None else json.dumps(payload).encode("utf-8")
+    all_headers = {"Content-Type": "application/json"}
+    all_headers.update(headers or {})
+    request = urllib.request.Request(url, data=data, method=method, headers=all_headers)
+    with urllib.request.urlopen(request, timeout=timeout) as response:
+        return response.status, dict(response.headers), response.read().decode("utf-8")
+
+
+#: Legal Prometheus text-exposition (0.0.4) line shapes: comments, bare
+#: samples and labelled samples (numeric or +/-Inf/NaN values).
+_EXPOSITION_LINE = re.compile(
+    r"^(#( (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* ?.*)?"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? [0-9eE\.\+\-]+"
+    r"|[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? (\+|-)?(Inf|NaN))$"
+)
+
+
+def observability_check(base: str) -> int:
+    """Phase: request-id propagation plus the ``GET /metrics`` exposition."""
+    marker = "ci-service-check-req-1"
+    status, headers, body = http_raw(
+        "POST",
+        f"{base}/compile",
+        {"source": tagged_source("obs")},
+        headers={"X-Request-Id": marker},
+    )
+    if status != 200:
+        return fail(f"observability /compile returned {status}")
+    if headers.get("X-Request-Id") != marker:
+        return fail(
+            f"X-Request-Id not echoed: sent {marker!r}, "
+            f"got {headers.get('X-Request-Id')!r}"
+        )
+    if json.loads(body).get("request_id") != marker:
+        return fail(
+            f"request id did not ride through the pool worker into the "
+            f"response body: {json.loads(body).get('request_id')!r}"
+        )
+
+    status, headers, text = http_raw("GET", f"{base}/metrics")
+    if status != 200:
+        return fail(f"GET /metrics returned {status}")
+    if not headers.get("Content-Type", "").startswith("text/plain"):
+        return fail(f"/metrics Content-Type is {headers.get('Content-Type')!r}")
+    if not text.endswith("\n"):
+        return fail("/metrics exposition does not end with a newline")
+    for line in text.rstrip("\n").splitlines():
+        if not _EXPOSITION_LINE.match(line):
+            return fail(f"malformed exposition line: {line!r}")
+    for layer in CACHE_LAYERS:
+        if f'layer="{layer}"' not in text:
+            return fail(f"/metrics is missing telemetry layer {layer!r}")
+    for required in (
+        "repro_service_workers",
+        "repro_pool_requests",
+        "# TYPE repro_request_latency_seconds histogram",
+        'le="+Inf"',
+    ):
+        if required not in text:
+            return fail(f"/metrics is missing {required!r}")
+    buckets = [
+        int(line.rsplit(" ", 1)[1])
+        for line in text.splitlines()
+        if line.startswith("repro_request_latency_seconds_bucket")
+        and 'endpoint="/compile"' in line
+    ]
+    if not buckets or buckets != sorted(buckets):
+        return fail(f"non-monotone /compile latency buckets: {buckets}")
+    lines = len(text.rstrip("\n").splitlines())
+    print(
+        f"observability: request id echoed end to end, /metrics exposition "
+        f"well-formed ({lines} lines, {len(CACHE_LAYERS)} telemetry layers, "
+        f"monotone latency buckets)"
+    )
+    return 0
+
+
 def fail(message: str) -> int:
     print(f"SERVICE CHECK FAILED: {message}", file=sys.stderr)
     return 1
@@ -159,13 +248,13 @@ def boot_server(workers: int, boot_timeout: float, snapshot_dir=None):
         if not match:
             raise RuntimeError(f"no address in server banner: {banner!r}")
         base = f"http://{match.group(1)}:{match.group(2)}"
-        deadline = time.time() + boot_timeout
+        deadline = time.perf_counter() + boot_timeout
         while True:
             try:
                 status, health = http_json("GET", f"{base}/healthz", timeout=10.0)
                 break
             except (urllib.error.URLError, OSError):
-                if time.time() > deadline:
+                if time.perf_counter() > deadline:
                     raise RuntimeError("server never answered /healthz")
                 time.sleep(0.25)
         if status != 200 or health.get("status") != "ok":
@@ -401,6 +490,10 @@ def main(argv=None) -> int:
             )
 
         problem = dag_check(base)
+        if problem:
+            return problem
+
+        problem = observability_check(base)
         if problem:
             return problem
 

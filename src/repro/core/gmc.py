@@ -369,6 +369,11 @@ class GMCAlgorithm:
         self.use_match_cache: bool = self.options.match_cache
         self.deadline_s = self.options.deadline_s
         self.parallelism: str = self.options.parallelism
+        #: Optional :class:`repro.obs.trace.Tracer` recording per-phase spans
+        #: of every solve.  ``None`` (the default) keeps the DP loops on the
+        #: untraced reference path -- the traced-off overhead the bench gate
+        #: measures is one ``is None`` test per solve, never per cell.
+        self.tracer = None
 
     # ------------------------------------------------------------------ API
     def solve(self, chain: ChainLike) -> GMCSolution:
@@ -379,8 +384,25 @@ class GMCAlgorithm:
         """
         factors, expression = _coerce_chain(chain)
         start = time.perf_counter()
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.begin(
+                "solve",
+                solver="gmc",
+                n=len(factors),
+                metric=self.metric.name,
+                parallelism=self.parallelism,
+            )
         solution = self._solve_factors(factors, expression)
         solution.generation_time = time.perf_counter() - start
+        if tracer is not None:
+            tracer.end(
+                complete=solution.complete,
+                computable=solution.computable,
+                cells_evaluated=solution.cells_evaluated,
+                cells_pruned=solution.cells_pruned,
+                diagonals=solution.diagonals,
+            )
         return solution
 
     def generate(self, chain: ChainLike, strategy_name: str = "GMC") -> Program:
@@ -420,13 +442,21 @@ class GMCAlgorithm:
         checker = DeadlineChecker(self.deadline_s)
         work = WorkCounters()
         workers = resolve_worker_count(self.parallelism)
+        tracer = self.tracer
         if workers > 1:
             complete = self._fill_parallel(
                 factors, n, costs, splits, choices, tmps, checker, work, workers
             )
-        else:
+        elif tracer is None:
             complete = self._fill_serial(
                 factors, n, costs, splits, choices, tmps, checker, work
+            )
+        else:
+            # Traced solves run the identical reference loop one diagonal at
+            # a time so each anti-diagonal gets its own span; the untraced
+            # branch above never pays for this.
+            complete = self._fill_serial_traced(
+                factors, n, costs, splits, choices, tmps, checker, work, tracer
             )
         solver_work_telemetry().record(work)
 
@@ -446,18 +476,21 @@ class GMCAlgorithm:
         )
 
     def _fill_serial(
-        self, factors, n, costs, splits, choices, tmps, checker, work
+        self, factors, n, costs, splits, choices, tmps, checker, work, lengths=None
     ) -> bool:
         """The serial reference loop (paper Fig. 4, exactly as before).
 
         This path is deliberately left as the ascending-``k`` reference
         implementation: the parallel tier (:meth:`_fill_parallel`) is
         asserted bit-identical against it, diagonal by diagonal.
+
+        *lengths* restricts the fill to the given anti-diagonals (the traced
+        wrapper runs one at a time); ``None`` fills all of them.
         """
         metric = self.metric
         prune = self.prune
         complete = True
-        for length in range(1, n):
+        for length in range(1, n) if lengths is None else lengths:
             if not complete:
                 break
             # Anti-diagonal ``length``: the work queue of independent cells
@@ -512,6 +545,74 @@ class GMCAlgorithm:
                     )
         return complete
 
+    def _fill_serial_traced(
+        self, factors, n, costs, splits, choices, tmps, checker, work, tracer
+    ) -> bool:
+        """Traced serial fill: the reference loop, one diagonal per span.
+
+        Each anti-diagonal gets a ``diagonal`` span carrying the
+        cells-evaluated / cells-pruned deltas, plus aggregate
+        ``kernel_matching`` and ``inference`` child phases accumulated from
+        per-cell timing wrappers (installed as instance attributes for the
+        duration of this fill only, so untraced solves never see them).
+        """
+        phase = {"match": 0.0, "infer": 0.0}
+        base_best = self._best_kernel
+        base_commit = self._commit_cell
+        clock = time.perf_counter
+
+        def timed_best(expr):
+            started = clock()
+            try:
+                return base_best(expr)
+            finally:
+                phase["match"] += clock() - started
+
+        def timed_commit(*args):
+            started = clock()
+            try:
+                return base_commit(*args)
+            finally:
+                phase["infer"] += clock() - started
+
+        self._best_kernel = timed_best  # type: ignore[method-assign]
+        self._commit_cell = timed_commit  # type: ignore[method-assign]
+        complete = True
+        try:
+            with tracer.span("dp_fill", n=n):
+                for length in range(1, n):
+                    cells0 = work.cells_evaluated
+                    pruned0 = work.cells_pruned
+                    phase["match"] = phase["infer"] = 0.0
+                    span = tracer.begin("diagonal", length=length)
+                    complete = self._fill_serial(
+                        factors,
+                        n,
+                        costs,
+                        splits,
+                        choices,
+                        tmps,
+                        checker,
+                        work,
+                        lengths=(length,),
+                    )
+                    tracer.end(
+                        cells_evaluated=work.cells_evaluated - cells0,
+                        cells_pruned=work.cells_pruned - pruned0,
+                    )
+                    tracer.add_phase(
+                        span, "kernel_matching", span.start, phase["match"]
+                    )
+                    tracer.add_phase(
+                        span, "inference", span.start + phase["match"], phase["infer"]
+                    )
+                    if not complete:
+                        break
+        finally:
+            del self._best_kernel
+            del self._commit_cell
+        return complete
+
     def _fill_parallel(
         self, factors, n, costs, splits, choices, tmps, checker, work, workers
     ) -> bool:
@@ -561,7 +662,9 @@ class GMCAlgorithm:
             operand=operand,
             commit=commit,
         )
-        complete = run_diagonals(env, get_backend(workers), checker, work)
+        complete = run_diagonals(
+            env, get_backend(workers), checker, work, tracer=self.tracer
+        )
         if memo is not None:
             work.memo_hits += memo.hits
             work.memo_misses += memo.misses

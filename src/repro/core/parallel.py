@@ -833,18 +833,43 @@ def run_diagonals(
     backend,
     checker: DeadlineChecker,
     counters: WorkCounters,
+    tracer=None,
 ) -> bool:
     """Fill the DP tables diagonal by diagonal through *backend*.
 
     Returns the ``complete`` flag: ``False`` when the deadline expired --
     every fully evaluated cell up to that point has been committed, no
     partially evaluated cell has.
+
+    *tracer* (a :class:`repro.obs.trace.Tracer`, or ``None``) records one
+    ``diagonal`` span per anti-diagonal with the work-counter deltas
+    attached.  Spans are opened and closed on this (orchestrating) thread;
+    cell tasks running inside *backend* never touch the tracer, so the
+    strictly-nested stack discipline holds.  The ``None`` test per diagonal
+    is the traced-off path's entire cost here.
     """
     complete = True
+    if tracer is not None:
+        tracer.begin("dp_fill", n=env.n, parallel=True)
     for length in range(1, env.n):
         counters.diagonals += 1
         cells = [(i, i + length) for i in range(env.n - length)]
-        if not _run_one_diagonal(env, cells, backend, checker, counters):
-            complete = False
-            break
+        if tracer is None:
+            if not _run_one_diagonal(env, cells, backend, checker, counters):
+                complete = False
+                break
+        else:
+            cells0 = counters.cells_evaluated
+            pruned0 = counters.cells_pruned
+            tracer.begin("diagonal", length=length, cells=len(cells))
+            done = _run_one_diagonal(env, cells, backend, checker, counters)
+            tracer.end(
+                cells_evaluated=counters.cells_evaluated - cells0,
+                cells_pruned=counters.cells_pruned - pruned0,
+            )
+            if not done:
+                complete = False
+                break
+    if tracer is not None:
+        tracer.end(complete=complete)
     return complete

@@ -192,8 +192,32 @@ class TopDownGMC:
         self.use_match_cache: bool = self.options.match_cache
         self.deadline_s = self.options.deadline_s
         self.parallelism: str = self.options.parallelism
+        #: Optional :class:`repro.obs.trace.Tracer` (see GMCAlgorithm.tracer):
+        #: ``None`` keeps the memoized recursion untouched.
+        self.tracer = None
 
     def solve(self, chain: ChainLike) -> TopDownSolution:
+        tracer = self.tracer
+        if tracer is None:
+            return self._solve(chain)
+        tracer.begin("solve", solver="topdown", parallelism=self.parallelism)
+        try:
+            solution = self._solve(chain)
+        except BaseException:
+            tracer.end()
+            raise
+        tracer.end(
+            n=solution.length,
+            metric=self.metric.name,
+            complete=solution.complete,
+            computable=solution.computable,
+            cells_evaluated=solution.cells_evaluated,
+            cells_pruned=solution.cells_pruned,
+            diagonals=solution.diagonals,
+        )
+        return solution
+
+    def _solve(self, chain: ChainLike) -> TopDownSolution:
         factors, expression = _coerce_chain(chain)
         # Hash-cons the factors (see GMCAlgorithm._solve_factors): sub-chains
         # then share canonical nodes and inference memoizes by identity.
@@ -286,7 +310,15 @@ class TopDownGMC:
             work.cells_evaluated += 1
             return best.cost
 
-        lookup(0, len(factors) - 1)
+        if self.tracer is None:
+            lookup(0, len(factors) - 1)
+        else:
+            # The lazy recursion has no diagonal structure; one aggregate
+            # span covers the whole memoized exploration.
+            with self.tracer.span("memoized_recursion", n=len(factors)) as span:
+                lookup(0, len(factors) - 1)
+                span.attrs["cells_evaluated"] = work.cells_evaluated
+                span.attrs["cells_pruned"] = work.cells_pruned
         solver_work_telemetry().record(work)
         return TopDownSolution(
             factors=factors,
@@ -386,7 +418,9 @@ class TopDownGMC:
             operand=operand,
             commit=commit,
         )
-        complete = run_diagonals(env, get_backend(workers), checker, work)
+        complete = run_diagonals(
+            env, get_backend(workers), checker, work, tracer=self.tracer
+        )
         if memo is not None:
             work.memo_hits += memo.hits
             work.memo_misses += memo.misses

@@ -42,9 +42,11 @@ from ..core.segments import (
     decompose_program,
     segment_telemetry,
 )
+from ..core.parallel import solver_work_telemetry
 from ..cost.metrics import CostMetric, resolve_metric
 from ..kernels.catalog import KernelCatalog
 from ..kernels.kernel import KernelCall, Program
+from ..obs.trace import Tracer
 from ..options import CompileOptions, warn_legacy
 from ..persist.plan_cache import PlanCache
 from ..telemetry import reset as _telemetry_reset
@@ -118,6 +120,9 @@ class CompilationResult:
     operands: Dict[str, Matrix]
     assignments: List[CompiledAssignment] = field(default_factory=list)
     options: Optional[CompileOptions] = None
+    #: The compilation's span tree (:class:`repro.obs.trace.Tracer`) when
+    #: compiled with ``CompileOptions(trace=True)``; ``None`` otherwise.
+    trace: Optional[Tracer] = None
 
     def __post_init__(self) -> None:
         self._index: Dict[str, CompiledAssignment] = {}
@@ -257,6 +262,14 @@ class CompilationResult:
     def numpy(self) -> str:
         """NumPy source for the whole program (``emit("numpy")``)."""
         return self.emit("numpy")
+
+    def explain(self) -> str:
+        """A plan-provenance report: per segment, where the plan came from
+        (plan-cache hit / trivial alias / cold DP), its kernels and its DP
+        work -- with traced phase timings folded in when available."""
+        from ..obs.explain import explain_result
+
+        return explain_result(self)
 
     def report(self) -> str:
         lines = ["compiled program:"]
@@ -414,19 +427,51 @@ class Compiler:
         if overrides:
             requested = requested.replace(**overrides)
         effective = self._effective_options(requested, {})
+        # Tracing is opt-in per compilation; the untraced path only ever
+        # tests ``tracer is not None`` at phase boundaries.
+        tracer = Tracer() if effective.trace else None
+        if tracer is not None:
+            tracer.begin("compile", solver=effective.solver, metric=effective.metric_name)
+            tracer.begin("parse")
         program = self._coerce_program(problem)
+        if tracer is not None:
+            tracer.end(
+                operands=len(program.operands),
+                assignments=len(program.assignments),
+            )
+            tracer.begin("decompose")
         plan = decompose_program(program)
+        if tracer is not None:
+            tracer.end(
+                segments=len(plan.segments),
+                synthetic=plan.synthetic_count,
+                cse_reuses=plan.cse_reuses,
+            )
         result = CompilationResult(
             operands=dict(program.operands), options=effective
         )
         use_plan_cache = requested.plan_cache
         telemetry = segment_telemetry()
+        match_cache = self.catalog.match_cache
         solver = None  # built on the first plan-cache miss
         for seg in plan:
             expression = seg.expression
             solution = None
+            if tracer is not None:
+                tracer.begin(
+                    "segment",
+                    target=seg.target,
+                    source=str(seg.source),
+                    synthetic=seg.synthetic,
+                    trivial=seg.trivial,
+                )
+                match_hits0 = match_cache.hits
+                match_misses0 = match_cache.misses
+                memo_hits0 = solver_work_telemetry().stats().get("hits", 0)
             if use_plan_cache:
                 started = time.perf_counter()
+                if tracer is not None:
+                    tracer.begin("plan_cache_lookup")
                 solution = self.plan_cache.lookup(
                     expression, requested, metric=effective.metric
                 )
@@ -437,6 +482,8 @@ class Compiler:
                     # cost, not just the dict lookup.
                     solution.kernel_calls()
                     solution.generation_time = time.perf_counter() - started
+                if tracer is not None:
+                    tracer.end(hit=solution is not None)
                 if not seg.trivial:
                     # Trivial (single-factor) segments register a cache
                     # bypass above but are not segment traffic: nothing is
@@ -445,6 +492,11 @@ class Compiler:
             if solution is None:
                 if solver is None:
                     solver = make_solver(effective)
+                    if tracer is not None:
+                        # Both solvers carry a ``tracer`` handle defaulting
+                        # to None; sharing this tracer nests their per-solve
+                        # spans under the current segment span.
+                        solver.tracer = tracer
                 solution = solver.solve(expression)
                 if use_plan_cache:
                     self.plan_cache.store(expression, requested, solution)
@@ -471,6 +523,31 @@ class Compiler:
                     result_operand=seg.result,
                 )
             )
+            if tracer is not None:
+                # Cache-hit provenance for this segment: whole-plan hit vs
+                # trivial alias vs cold DP, with the match-cache and
+                # decision-memo hit deltas the solve generated.
+                if getattr(solution, "from_plan_cache", False):
+                    provenance = "plan_cache"
+                elif seg.trivial:
+                    provenance = "trivial"
+                else:
+                    provenance = "cold_dp"
+                tracer.end(
+                    provenance=provenance,
+                    match_cache_hits=match_cache.hits - match_hits0,
+                    match_cache_misses=match_cache.misses - match_misses0,
+                    decision_memo_hits=(
+                        solver_work_telemetry().stats().get("hits", 0) - memo_hits0
+                    ),
+                    flops=kernel_program.total_flops,
+                )
+        if tracer is not None:
+            tracer.end(
+                segments=len(result.assignments), total_flops=result.total_flops
+            )
+            tracer.finish()
+            result.trace = tracer
         return result
 
     def solve(
@@ -592,6 +669,7 @@ def build_options(args: argparse.Namespace) -> CompileOptions:
         prune=not args.no_prune,
         match_cache=not args.no_match_cache,
         parallelism=args.parallel,
+        trace=getattr(args, "trace", None) is not None,
     )
 
 
@@ -645,6 +723,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         choices=["report", *available_emitters()],
         help="what to print: a human-readable report or generated code",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help=(
+            "record a span tree for the compilation and write it to PATH "
+            "(see --trace-format); also appends the provenance report "
+            "(explain) to the printed output"
+        ),
+    )
+    parser.add_argument(
+        "--trace-format",
+        default="json",
+        choices=["json", "chrome"],
+        help=(
+            "trace export format: 'json' (raw span tree) or 'chrome' "
+            "(Chrome trace-event JSON, loadable in Perfetto / "
+            "chrome://tracing); default: json"
+        ),
+    )
     serve_group = parser.add_argument_group(
         "service mode", "run as a long-lived HTTP compilation service"
     )
@@ -681,6 +779,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             "boot (warm start) and persist on shutdown or POST /snapshot"
         ),
     )
+    serve_group.add_argument(
+        "--log-level",
+        default="info",
+        choices=["debug", "info", "warning", "error"],
+        help=(
+            "service log verbosity: one structured JSON line per event on "
+            "stderr (access log, worker restarts, saturation rejections, "
+            "snapshot loads/saves); default: info"
+        ),
+    )
     args = parser.parse_args(argv)
     if args.snapshot_dir and not args.serve:
         parser.error("--snapshot-dir requires --serve")
@@ -702,15 +810,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ignored.append("--parallel")
         if args.emit != "report":
             ignored.append("--emit")
+        if args.trace is not None:
+            ignored.append("--trace")
         if ignored:
             parser.error(
                 f"{', '.join(ignored)} cannot be combined with --serve: "
                 f"service requests carry their own options "
                 f"(the 'options' object of POST /compile)"
             )
+        from ..obs.logging import configure_logging
         from ..service.http import run_server
         from ..service.pool import create_executor
 
+        configure_logging(args.log_level)
         executor = create_executor(
             workers=args.workers,
             in_process=args.in_process,
@@ -727,4 +839,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(result.report())
     else:
         print(result.emit(args.emit))
+    if args.trace is not None:
+        result.trace.write(args.trace, fmt=args.trace_format)
+        print(result.explain())
+        print(f"trace written to {args.trace} ({args.trace_format})")
     return 0

@@ -1,0 +1,48 @@
+"""Observability: compile tracing, service metrics, structured logging.
+
+Four stdlib-only modules, threaded through every layer of the pipeline:
+
+* :mod:`repro.obs.trace` -- opt-in span trees for one compilation
+  (``CompileOptions(trace=True)``), exportable as raw JSON or Chrome
+  trace-event JSON (Perfetto-loadable);
+* :mod:`repro.obs.metrics` -- counters, fixed-bucket latency histograms and
+  the Prometheus text exposition behind ``GET /metrics``;
+* :mod:`repro.obs.logging` -- JSON-lines logging setup for the service
+  (worker restarts, saturation rejections, snapshot loads/saves);
+* :mod:`repro.obs.explain` -- plan provenance reports
+  (:meth:`CompilationResult.explain`).
+
+Tracing is zero-overhead when disabled: the hot DP loops never see a
+tracer object (``None`` tests happen at phase boundaries only), which
+``scripts/bench_generation.py --check-trace-overhead`` gates in CI.
+"""
+
+from .explain import explain_result, provenance_of
+from .logging import JsonFormatter, configure_logging, get_logger
+from .metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    render_prometheus,
+    reset_service_metrics,
+    service_metrics,
+)
+from .trace import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Histogram",
+    "JsonFormatter",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "explain_result",
+    "get_logger",
+    "provenance_of",
+    "render_prometheus",
+    "reset_service_metrics",
+    "service_metrics",
+]

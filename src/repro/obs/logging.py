@@ -1,0 +1,113 @@
+"""Structured (JSON-lines) logging setup for the service (stdlib only).
+
+The library logs through child loggers of the ``"repro"`` namespace
+(:func:`get_logger`); nothing is printed unless the hosting process opts in
+with :func:`configure_logging`, which attaches one stderr handler rendering
+every record as a single JSON object per line::
+
+    {"ts": 1723111845.2, "level": "warning", "logger": "repro.service.pool",
+     "event": "worker restarted", "worker": 2, "restarts": 1}
+
+Events carry their structured fields via the stdlib ``extra=`` mechanism;
+:class:`JsonFormatter` folds every non-standard record attribute into the
+JSON object.  ``python -m repro.frontend --serve`` calls
+:func:`configure_logging` at boot (tunable via ``--log-level``), as do the
+pool's worker processes, so service events from every process land on
+stderr as machine-parseable lines while library use stays silent.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+import time
+from typing import IO, Optional, Union
+
+__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+
+#: Root of the library's logger namespace.
+ROOT_LOGGER = "repro"
+
+#: Attributes every LogRecord carries; anything else came in via ``extra=``.
+_STANDARD_ATTRS = frozenset(
+    vars(
+        logging.LogRecord("x", logging.INFO, "x", 0, "x", None, None)
+    )
+) | {"message", "asctime", "taskName"}
+
+
+class JsonFormatter(logging.Formatter):
+    """Render each record as one JSON object per line.
+
+    ``ts`` is the epoch timestamp (``record.created``; wall-clock is correct
+    here -- log timestamps must be comparable across processes, unlike the
+    latency measurements, which use ``time.perf_counter``).  Non-serializable
+    extra values fall back to ``str``.
+    """
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "ts": round(record.created, 6),
+            "level": record.levelname.lower(),
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        for key, value in record.__dict__.items():
+            if key in _STANDARD_ATTRS or key in payload:
+                continue
+            payload[key] = value
+        if record.exc_info and record.exc_info[0] is not None:
+            payload["exc_type"] = record.exc_info[0].__name__
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, default=str)
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A library logger under the ``"repro"`` namespace.
+
+    ``get_logger("service.pool")`` and ``get_logger("repro.service.pool")``
+    name the same logger; handlers attached by :func:`configure_logging` to
+    the namespace root see every event.
+    """
+    if name != ROOT_LOGGER and not name.startswith(ROOT_LOGGER + "."):
+        name = f"{ROOT_LOGGER}.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(
+    level: Union[int, str] = "INFO", stream: Optional[IO[str]] = None
+) -> logging.Logger:
+    """Attach one JSON-lines handler to the ``"repro"`` logger namespace.
+
+    Idempotent: calling it again reconfigures the existing handler's level
+    and stream instead of stacking duplicates.  Returns the namespace root
+    logger.  Events do not propagate to the (application-owned) root
+    logger, so opting in never double-prints.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    logger = logging.getLogger(ROOT_LOGGER)
+    handler = next(
+        (h for h in logger.handlers if getattr(h, "_repro_json_handler", False)),
+        None,
+    )
+    if handler is None:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler._repro_json_handler = True  # type: ignore[attr-defined]
+        handler.setFormatter(JsonFormatter())
+        logger.addHandler(handler)
+    elif stream is not None:
+        handler.setStream(stream)  # type: ignore[attr-defined]
+    handler.setLevel(level)
+    logger.setLevel(level)
+    logger.propagate = False
+    return logger
+
+
+def timestamp() -> float:
+    """Epoch seconds for log payloads (wall clock, cross-process comparable)."""
+    return time.time()

@@ -58,6 +58,7 @@ _WIRE_KEYS = (
     "deadline_s",
     "cost_cache_size",
     "parallelism",
+    "trace",
 )
 
 
@@ -136,6 +137,13 @@ class CompileOptions:
     #: are bit-identical -- so it is excluded from the plan-cache
     #: fingerprint.
     parallelism: str = "serial"
+    #: Record a span tree for the compilation (:mod:`repro.obs.trace`):
+    #: per-segment phases with cache-hit provenance and per-anti-diagonal DP
+    #: spans, exposed as ``CompilationResult.trace``.  Diagnostic only -- it
+    #: never changes the solution, so (like ``parallelism``) it is excluded
+    #: from the plan-cache fingerprint.  Off by default; the disabled hot
+    #: path pays no per-cell cost.
+    trace: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "emit", tuple(self.emit))
@@ -231,6 +239,8 @@ class CompileOptions:
             payload["cost_cache_size"] = self.cost_cache_size
         if self.parallelism != "serial":
             payload["parallelism"] = self.parallelism
+        if self.trace:
+            payload["trace"] = True
         return payload
 
     @classmethod
@@ -243,8 +253,8 @@ class CompileOptions:
         if unknown:
             raise ValueError(f"unknown option fields: {sorted(unknown)}")
 
-        def wire_bool(key: str) -> bool:
-            value = payload.get(key, True)
+        def wire_bool(key: str, default: bool = True) -> bool:
+            value = payload.get(key, default)
             if not isinstance(value, bool):
                 raise ValueError(f"option {key!r} must be a boolean, got {value!r}")
             return value
@@ -261,4 +271,5 @@ class CompileOptions:
             deadline_s=None if deadline is None else float(deadline),
             cost_cache_size=None if cache_size is None else int(cache_size),
             parallelism=payload.get("parallelism", "serial"),
+            trace=wire_bool("trace", default=False),
         )

@@ -345,8 +345,18 @@ def load_snapshot(
 
     Returns ``{"loaded": True, "path": ..., "plan_entries": n,
     "match_entries": m}`` on success, or ``{"loaded": False, "reason": ...}``
-    for the clean cold-boot fallback.
+    for the clean cold-boot fallback.  A simply *absent* snapshot (the
+    normal first boot) additionally carries ``"missing": True`` so callers
+    -- e.g. the service's structured boot log -- can tell the routine cold
+    start from a corrupt or incompatible snapshot.
     """
+    if not Path(path).exists():
+        return {
+            "loaded": False,
+            "path": str(path),
+            "reason": "no snapshot file",
+            "missing": True,
+        }
     try:
         state = read_snapshot(path)
         counts = restore_state(state, plan_cache, catalog)

@@ -5,6 +5,15 @@ and of the competing libraries, taking the best out of repeated runs (for the
 Section 3.3 example) or averaging repetitions (Section 4).  This module
 provides the equivalent measurement utilities for programs executed through
 the NumPy runtime.
+
+Clock policy (uniform across the repository): every *elapsed-duration*
+measurement -- here, the solver/compiler ``generation_time`` stamps, the
+service latency timings and the bench scripts -- uses
+:func:`time.perf_counter` (monotonic, highest available resolution).
+Wall-clock reads (``time.time``) are reserved for log timestamps, where
+cross-process comparability matters more than monotonicity, and
+``time.monotonic`` for deadline bookkeeping (:class:`DeadlineChecker`),
+where resolution is traded for a cheaper strided read.
 """
 
 from __future__ import annotations

@@ -25,9 +25,22 @@ Endpoints (all JSON):
 ``GET /stats``
     pooled cache telemetry (see :mod:`repro.service.telemetry`): per-layer
     hit rates, occupancy and eviction counts, per worker and fleet-wide.
+``GET /metrics``
+    Prometheus text exposition (scrape with any Prometheus-compatible
+    agent, or plain ``curl``): every pooled cache-telemetry layer as
+    ``repro_<counter>{layer=...}`` gauges, the pool counters as
+    ``repro_pool_*`` gauges and the per-endpoint request-latency
+    histograms (``repro_request_latency_seconds``).
 ``GET /healthz``
     liveness: pings every worker (restarting dead ones), 200 when all are
     alive, 503 when degraded.
+
+Every response carries an ``X-Request-Id`` header (echoing the client's
+header or the body's ``request_id`` when supplied, freshly generated
+otherwise); the same id travels through the pool workers into the
+response body and the structured access-log lines (one JSON line per
+request through :mod:`repro.obs.logging`, silent unless the process
+opted in via ``configure_logging``).
 
 The server is a :class:`http.server.ThreadingHTTPServer`; concurrency comes
 from the worker pool behind it (HTTP threads block on queue round-trips,
@@ -41,10 +54,14 @@ from __future__ import annotations
 import json
 import math
 import threading
+import time
+import uuid
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlparse
 
+from ..obs.logging import get_logger
+from ..obs.metrics import render_prometheus, service_metrics
 from .api import CompileRequest, RequestError
 from .pool import PoolSaturatedError
 
@@ -53,6 +70,14 @@ __all__ = ["ServiceHTTPServer", "start_server", "run_server"]
 #: Largest request body accepted, in bytes (guards the stdlib server
 #: against unbounded reads; far above any realistic chain spec).
 MAX_BODY_BYTES = 8 * 1024 * 1024
+
+#: Endpoints that get their own latency-histogram label; anything else is
+#: pooled under ``other`` so unknown paths cannot grow label cardinality.
+_KNOWN_ENDPOINTS = frozenset(
+    {"/healthz", "/stats", "/metrics", "/compile", "/batch", "/snapshot"}
+)
+
+_LOG = get_logger("service.http")
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -72,15 +97,36 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- plumbing
     def log_message(self, format: str, *args) -> None:  # noqa: A002
-        pass  # keep test/CI output clean; the CLI prints its own banner
+        # The stdlib's plain-text access log is replaced by one structured
+        # JSON line per request (see _handle); silent unless the hosting
+        # process opted in via repro.obs.configure_logging.
+        pass
 
     def _send_json(
         self, status: int, payload: dict, extra_headers: Optional[dict] = None
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
+        self._send_body(status, body, "application/json", extra_headers)
+
+    def _send_text(
+        self, status: int, text: str, content_type: str = "text/plain; charset=utf-8"
+    ) -> None:
+        self._send_body(status, text.encode("utf-8"), content_type, None)
+
+    def _send_body(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str,
+        extra_headers: Optional[dict],
+    ) -> None:
+        self._status = status
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        request_id = getattr(self, "_request_id", None)
+        if request_id is not None:
+            self.send_header("X-Request-Id", request_id)
         for name, value in (extra_headers or {}).items():
             self.send_header(name, value)
         self.end_headers()
@@ -104,7 +150,49 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
 
     # ------------------------------------------------------------- handlers
     def do_GET(self) -> None:  # noqa: N802 -- stdlib naming
+        self._handle("GET", self._handle_get)
+
+    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
+        self._handle("POST", self._handle_post)
+
+    def _handle(self, method: str, inner) -> None:
+        """Shared per-request envelope: request id, latency, access log.
+
+        Every response echoes an ``X-Request-Id`` header (the client's, when
+        supplied; a fresh one otherwise); every request lands one
+        observation in the per-endpoint latency histogram ``/metrics``
+        renders and one structured access-log line.
+        """
+        started = time.perf_counter()
         path = urlparse(self.path).path
+        # The header id seeds request-id propagation; /compile replaces it
+        # with the response's canonical id (which travels through the pool
+        # workers on the request wire).
+        self._request_id = self.headers.get("X-Request-Id") or uuid.uuid4().hex
+        self._status: Optional[int] = None
+        try:
+            inner(path)
+        finally:
+            elapsed = time.perf_counter() - started
+            endpoint = path if path in _KNOWN_ENDPOINTS else "other"
+            service_metrics().histogram(
+                "repro_request_latency_seconds",
+                help_text="HTTP request latency by endpoint, in seconds",
+                endpoint=endpoint,
+                method=method,
+            ).observe(elapsed)
+            _LOG.info(
+                "http request",
+                extra={
+                    "method": method,
+                    "path": path,
+                    "status": self._status,
+                    "duration_ms": round(elapsed * 1e3, 3),
+                    "request_id": self._request_id,
+                },
+            )
+
+    def _handle_get(self, path: str) -> None:
         executor = self.server.executor
         try:
             if path == "/healthz":
@@ -113,13 +201,29 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(status, health)
             elif path == "/stats":
                 self._send_json(200, executor.stats())
+            elif path == "/metrics":
+                self._send_text(200, self._render_metrics(executor))
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
         except Exception as exc:  # noqa: BLE001 -- never drop the connection
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
-    def do_POST(self) -> None:  # noqa: N802 -- stdlib naming
-        path = urlparse(self.path).path
+    def _render_metrics(self, executor) -> str:
+        """The ``GET /metrics`` body: Prometheus text exposition of the
+        pooled cache-telemetry layers, the pool counters and the HTTP
+        latency histograms."""
+        stats = executor.stats()
+        gauges = {"service_workers": stats.get("workers", 0)}
+        for key, value in (stats.get("pool") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                gauges[f"pool_{key}"] = value
+        return render_prometheus(
+            cache_layers=stats.get("caches") or {},
+            registry=service_metrics(),
+            extra_gauges=gauges,
+        )
+
+    def _handle_post(self, path: str) -> None:
         executor = self.server.executor
         try:
             if path == "/snapshot":
@@ -148,8 +252,14 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 return
             payload = self._read_json()
             if path == "/compile":
+                # Propagate the header id into the request wire (unless the
+                # body carries its own): it rides through the pool worker
+                # into the response and every log line along the way.
+                if isinstance(payload, dict) and not payload.get("request_id"):
+                    payload = dict(payload, request_id=self._request_id)
                 request = CompileRequest.from_dict(payload)
                 response = executor.submit(request)
+                self._request_id = response.request_id or self._request_id
                 self._send_json(200 if response.ok else 400, response.to_dict())
             elif path == "/batch":
                 if not isinstance(payload, dict) or not isinstance(

@@ -59,6 +59,7 @@ from typing import Dict, List, Optional, Sequence
 
 from ..core.parallel import set_worker_parallelism_cap
 from ..frontend.compiler import Compiler
+from ..obs.logging import get_logger
 from ..kernels.catalog import KernelCatalog
 from ..options import CompileOptions
 from ..persist.snapshot import (
@@ -70,6 +71,8 @@ from ..persist.snapshot import (
 )
 from .. import telemetry
 from .api import CompileRequest, CompileResponse, affinity_key, execute_request
+
+_LOG = get_logger("service.pool")
 
 __all__ = [
     "PoolSaturatedError",
@@ -96,6 +99,24 @@ class PoolSaturatedError(RuntimeError):
     def __init__(self, message: str, retry_after: float = 1.0) -> None:
         super().__init__(message)
         self.retry_after = retry_after
+
+
+def _log_snapshot_load(result: Optional[dict], worker: Optional[int]) -> None:
+    """One structured line per snapshot-backed boot (cold boots at INFO --
+    a missing snapshot is normal on first start; corrupt ones warn)."""
+    if not isinstance(result, dict):
+        return
+    fields = {"worker": worker, **result}
+    if result.get("loaded"):
+        _LOG.info("snapshot loaded, booting warm", extra=fields)
+    elif result.get("missing"):
+        _LOG.info("no snapshot found, booting cold", extra=fields)
+    else:
+        _LOG.warning("snapshot unusable, booting cold", extra=fields)
+
+
+def _log_snapshot_save(meta: dict) -> None:
+    _LOG.info("snapshot saved", extra=dict(meta))
 
 
 # ---------------------------------------------------------------------------
@@ -135,6 +156,7 @@ class InProcessExecutor:
                 self.compiler.plan_cache,
                 self.compiler.catalog,
             )
+            _log_snapshot_load(self.snapshot_load, worker=None)
 
     @property
     def workers(self) -> int:
@@ -154,6 +176,15 @@ class InProcessExecutor:
         with self._gate:
             if self._pending + count > self.max_inflight:
                 self.rejections += 1
+                _LOG.warning(
+                    "pool saturated, request rejected",
+                    extra={
+                        "pending": self._pending,
+                        "requested": count,
+                        "max_inflight": self.max_inflight,
+                        "rejections": self.rejections,
+                    },
+                )
                 raise PoolSaturatedError(
                     f"{count} request(s) would exceed the in-flight bound "
                     f"({self._pending} pending, bound {self.max_inflight})"
@@ -229,9 +260,14 @@ class InProcessExecutor:
     def close(self) -> None:
         if self.snapshot_dir is not None:
             try:
-                self.save_snapshot()
-            except Exception:  # noqa: BLE001 -- shutdown must not fail on I/O
-                pass
+                meta = self.save_snapshot()
+            except Exception as exc:  # noqa: BLE001 -- shutdown must not fail on I/O
+                _LOG.warning(
+                    "shutdown snapshot save failed",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+            else:
+                _log_snapshot_save(meta)
 
     def __enter__(self) -> "InProcessExecutor":
         return self
@@ -271,6 +307,7 @@ def _worker_main(
         snapshot_load = load_snapshot(
             snapshot_file, compiler.plan_cache, compiler.catalog
         )
+        _log_snapshot_load(snapshot_load, worker=worker_id)
     served = 0
     failed = 0
     while True:
@@ -423,9 +460,14 @@ class WorkerPool:
             self._closing = True
         if self.snapshot_dir is not None:
             try:
-                self.save_snapshot()
-            except Exception:  # noqa: BLE001 -- shutdown must not fail on I/O
-                pass
+                meta = self.save_snapshot()
+            except Exception as exc:  # noqa: BLE001 -- shutdown must not fail on I/O
+                _LOG.warning(
+                    "shutdown snapshot save failed",
+                    extra={"error": f"{type(exc).__name__}: {exc}"},
+                )
+            else:
+                _log_snapshot_save(meta)
         with self._lock:
             self._closed = True
         for inbox in self._inboxes:
@@ -501,6 +543,16 @@ class WorkerPool:
                 load = self._request_load[index]
                 if load + extra > self.max_inflight_per_worker:
                     self.rejections += 1
+                    _LOG.warning(
+                        "pool saturated, request rejected",
+                        extra={
+                            "worker": index,
+                            "queued": load,
+                            "requested": extra,
+                            "max_inflight_per_worker": self.max_inflight_per_worker,
+                            "rejections": self.rejections,
+                        },
+                    )
                     raise PoolSaturatedError(
                         f"worker {index} would exceed its in-flight bound "
                         f"({load} queued + {extra} new > "
@@ -531,6 +583,19 @@ class WorkerPool:
                 proc.join(timeout=0.1)
                 self._spawn(index)
                 self.restarts += 1
+                _LOG.warning(
+                    "worker crashed, restarted transparently",
+                    extra={
+                        "worker": index,
+                        "exitcode": proc.exitcode,
+                        "restarts": self.restarts,
+                        "inflight_resubmitted": sum(
+                            1
+                            for entry in self._inflight.values()
+                            if entry[0] == index
+                        ),
+                    },
+                )
                 for token, entry in list(self._inflight.items()):
                     if entry[0] != index:
                         continue
