@@ -36,7 +36,7 @@ api-check:
 ## CI-sized benchmark (fails on legacy/memoized solution divergence or a
 ## measurable untraced-hot-path overhead from the observability layer).
 bench-smoke:
-	$(PYTHON) scripts/bench_generation.py --smoke --check-trace-overhead 0.03 --output bench_smoke.json
+	$(PYTHON) scripts/bench_generation.py --smoke --check-trace-overhead 0.03 --check-execute-identity --output bench_smoke.json
 
 ## Paper-reproduction benchmark suite (pytest-benchmark).
 paper-benchmarks:

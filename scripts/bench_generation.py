@@ -816,6 +816,143 @@ def run_jacobian(models, blocks):
     return entry
 
 
+#: Programs the execution-tier section runs end to end (name, DSL source).
+#: Sized so a run takes milliseconds, shaped so the plans exercise the
+#: interesting kernel families: triangular/SPD solves, a pure product chain,
+#: and a Kalman-style DAG whose plan uses transposed solve variants.
+EXECUTION_PROGRAMS = (
+    (
+        "solve_chain",
+        "Matrix A (300, 300) <spd>\n"
+        "Matrix B (300, 200) <full_rank>\n"
+        "Matrix C (200, 200) <lower_triangular, non_singular>\n"
+        "X := A^-1 * B * C^T\n",
+    ),
+    (
+        "product_chain",
+        "Matrix P (120, 400) <full_rank>\n"
+        "Matrix Q (400, 80) <full_rank>\n"
+        "Matrix R (80, 300) <full_rank>\n"
+        "Matrix S (300, 60) <full_rank>\n"
+        "Y := P * Q * R * S\n",
+    ),
+    (
+        "kalman_dag",
+        "Matrix Hk (50, 90) <full_rank>\n"
+        "Matrix Pk (90, 90) <spd>\n"
+        "Matrix Bk (50, 40) <full_rank>\n"
+        "G := Hk * Pk * Hk^T\n"
+        "J := G^-1 * Bk\n"
+        "K := Pk * Hk^T * (Hk * Pk^-1 * Hk^T)^-1\n",
+    ),
+)
+
+
+def run_execution(seed, repeats=5):
+    """Benchmark the execution tier: emitted modules vs the interpreter.
+
+    For every :data:`EXECUTION_PROGRAMS` entry, one warm
+    :class:`repro.frontend.Compiler` session compiles the program, the
+    ``module`` emitter renders it as a standalone module
+    (:mod:`repro.exec.emitter`), and the loader imports it
+    (:mod:`repro.exec.loader`).  The section then times the loaded module's
+    entrypoint against the interpreted :class:`repro.runtime.Executor` on
+    identical seeded operands (min-of-N per engine) and records the one-time
+    emit/import cost.  Both engines must agree numerically -- the maximum
+    relative error is recorded per program, and ``--check-execute-identity``
+    names this section's identity assertion in the CI wiring.
+    """
+    import numpy as np
+
+    from repro.exec.emitter import plan_signature
+    from repro.exec.loader import ModuleLoader
+    from repro.frontend import Compiler
+    from repro.runtime.executor import Executor
+    from repro.runtime.operands import random_environment
+
+    session = Compiler()
+    loader = ModuleLoader()
+    per_program = []
+    mismatches = []
+    for name, source in EXECUTION_PROGRAMS:
+        result = session.compile(source)
+        program = result.stitched_program()
+        environment = dict(random_environment(result, seed=seed))
+
+        start = time.perf_counter()
+        module_source = result.emit_stitched("module")
+        emit_s = time.perf_counter() - start
+        start = time.perf_counter()
+        loaded = loader.load(module_source, plan_signature(result))
+        import_s = time.perf_counter() - start
+
+        module_value = loaded.run(environment)
+        interpreter_value = Executor().execute(program, dict(environment))
+        scale = max(1.0, float(np.max(np.abs(interpreter_value))))
+        max_rel_error = (
+            float(np.max(np.abs(module_value - interpreter_value))) / scale
+        )
+        if max_rel_error > 1e-9:
+            mismatches.append(f"{name}: max rel error {max_rel_error:.2e}")
+
+        module_best = math.inf
+        interpreter_best = math.inf
+        for _ in range(repeats):
+            start = time.perf_counter()
+            loaded.run(environment)
+            module_best = min(module_best, time.perf_counter() - start)
+            start = time.perf_counter()
+            Executor().execute(program, dict(environment))
+            interpreter_best = min(
+                interpreter_best, time.perf_counter() - start
+            )
+
+        entry = {
+            "program": name,
+            "calls": len(program.calls),
+            "implementation": loaded.implementation,
+            "emit_ms": emit_s * 1e3,
+            "import_ms": import_s * 1e3,
+            "module_run_ms": module_best * 1e3,
+            "interpreter_run_ms": interpreter_best * 1e3,
+            "module_vs_interpreter": (
+                interpreter_best / module_best if module_best > 0 else math.inf
+            ),
+            "max_rel_error": max_rel_error,
+        }
+        per_program.append(entry)
+        print(
+            f"{name:>14s}: module {entry['module_run_ms']:8.3f} ms, "
+            f"interpreter {entry['interpreter_run_ms']:8.3f} ms "
+            f"({entry['module_vs_interpreter']:5.2f}x), emit+import "
+            f"{(emit_s + import_s) * 1e3:7.2f} ms, max rel err "
+            f"{max_rel_error:.2e} [{entry['implementation']}]"
+        )
+
+    module_total = sum(e["module_run_ms"] for e in per_program)
+    interpreter_total = sum(e["interpreter_run_ms"] for e in per_program)
+    return {
+        "description": (
+            "execution tier: emitted standalone modules (repro.exec) vs the "
+            "interpreted runtime Executor on identical seeded operands; "
+            "min-of-N per engine, one-time emit/import cost recorded "
+            "separately, engines asserted numerically identical"
+        ),
+        "config": {"seed": seed, "repeats": repeats},
+        "per_program": per_program,
+        "overall": {
+            "module_total_ms": module_total,
+            "interpreter_total_ms": interpreter_total,
+            "speedup": (
+                interpreter_total / module_total if module_total > 0 else math.inf
+            ),
+        },
+        "module_cache": loader.stats(),
+        "solutions_match": not mismatches,
+        "mismatches": mismatches,
+    }
+
+
 def run(lengths, chains_per_length, repeats, seed):
     per_length = []
     mismatches = []
@@ -1052,6 +1189,15 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-execute-identity",
+        action="store_true",
+        help=(
+            "exit non-zero unless every emitted-module run of the execution "
+            "tier section matched the interpreted Executor numerically on "
+            "identical operands"
+        ),
+    )
+    parser.add_argument(
         "--check-trace-overhead",
         type=float,
         default=None,
@@ -1113,6 +1259,8 @@ def main(argv=None) -> int:
     jacobian_models = args.jacobian_models or (12 if args.smoke else 25)
     jacobian_blocks = args.jacobian_blocks or (6 if args.smoke else 8)
     report["jacobian"] = run_jacobian(jacobian_models, jacobian_blocks)
+    print("\n== execution tier: emitted modules vs interpreted Executor ==")
+    report["execution"] = run_execution(args.seed, repeats=3 if args.smoke else 5)
     print("\n== trace overhead: untraced hot path vs never-traced baseline ==")
     trace_lengths = (10, 12) if args.smoke else (10, 12, 14)
     report["trace_overhead"] = run_trace_overhead(trace_lengths, args.seed)
@@ -1243,6 +1391,19 @@ def main(argv=None) -> int:
             f"ERROR: Jacobian segment-level plan-cache hit rate "
             f"{jacobian['segment_plan_hit_rate']:.3f} below required "
             f"{args.check_dag_plan_hit_rate:.3f}",
+            file=sys.stderr,
+        )
+        return 1
+    execution = report["execution"]
+    if not execution["solutions_match"]:
+        print(
+            "ERROR: emitted-module runs diverged from the interpreted "
+            "Executor: " + "; ".join(execution["mismatches"])
+            + (
+                " (--check-execute-identity)"
+                if args.check_execute_identity
+                else ""
+            ),
             file=sys.stderr,
         )
         return 1

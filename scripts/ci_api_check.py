@@ -48,6 +48,7 @@ SURFACE_MODULES = (
     "repro.frontend",
     "repro.core",
     "repro.codegen",
+    "repro.exec",
     "repro.service",
     "repro.telemetry",
     "repro.persist",

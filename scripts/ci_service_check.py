@@ -20,7 +20,14 @@ worker pool), then drives the acceptance workload against it:
    extraction segment) goes through ``POST /compile``; the response's
    per-segment assignments -- targets, kernel sequences, and the
    ``synthetic`` marker -- must match the in-process reference;
-6. **observability**: ``GET /metrics`` must return well-formed Prometheus
+6. the **execution tier**: ``POST /execute`` must compile-and-run (a) a
+   seeded random-operand chain with the emitted module cross-checked
+   against the interpreter engine, (b) an explicit-payload chain whose
+   result summary is verified against a local NumPy reference, and (c)
+   the multi-assignment DAG program -- each validated against the
+   reference evaluation server-side (``validated: true``), failing the
+   check on any reference mismatch;
+7. **observability**: ``GET /metrics`` must return well-formed Prometheus
    text exposition carrying every cache-telemetry layer
    (:data:`repro.telemetry.CACHE_LAYERS`), the pool gauges and the
    per-endpoint latency histograms (monotone cumulative buckets ending in
@@ -116,6 +123,80 @@ def dag_check(base: str) -> int:
         f"DAG program: {len(served)} segments "
         f"({sum(1 for _, _, s in served if s)} synthetic), kernel "
         f"sequences match the in-process reference"
+    )
+    return 0
+
+
+def execute_check(base: str) -> int:
+    """Phase: ``POST /execute`` -- compile-and-run with validation."""
+    import numpy as np
+
+    # (a) Seeded random operands; emitted module cross-checked against the
+    # interpreter engine, both validated against the reference evaluation.
+    status, body = http_json(
+        "POST",
+        f"{base}/execute",
+        {"source": tagged_source("ex"), "execute": {"seed": 7, "engine": "both"}},
+    )
+    if status != 200 or not body.get("ok"):
+        return fail(
+            f"/execute (seeded) returned {status}: {body.get('error')} "
+            f"(phase {body.get('phase')})"
+        )
+    if body.get("validated") is not True:
+        return fail(f"seeded /execute did not validate: {body.get('error')}")
+    if body.get("engines_match") is not True:
+        return fail("module and interpreter engines diverged on /execute")
+    seeded_error = body.get("max_rel_error")
+
+    # (b) Explicit payloads, verified against a local NumPy reference.
+    rng = np.random.default_rng(11)
+    A = rng.standard_normal((40, 40))
+    A = A @ A.T + 40 * np.eye(40)
+    B = rng.standard_normal((40, 25))
+    source = "Matrix Ae (40, 40) <spd>\nMatrix Be (40, 25) <>\nXe := Ae^-1 * Be\n"
+    status, body = http_json(
+        "POST",
+        f"{base}/execute",
+        {
+            "source": source,
+            "execute": {"payloads": {"Ae": A.tolist(), "Be": B.tolist()}},
+        },
+    )
+    if status != 200 or not body.get("ok") or body.get("validated") is not True:
+        return fail(
+            f"/execute (payloads) returned {status}: {body.get('error')} "
+            f"(phase {body.get('phase')})"
+        )
+    expected = float(np.linalg.norm(np.linalg.solve(A, B)))
+    served = body["results"][0]["fro_norm"]
+    if abs(served - expected) > 1e-6 * max(1.0, expected):
+        return fail(
+            f"payload /execute result diverged from the local reference: "
+            f"|fro| {served} != {expected}"
+        )
+
+    # (c) The multi-assignment DAG program through the execution tier.
+    status, body = http_json(
+        "POST", f"{base}/execute", {"source": DAG_SOURCE, "execute": {"seed": 3}}
+    )
+    if status != 200 or not body.get("ok") or body.get("validated") is not True:
+        return fail(
+            f"/execute (DAG) returned {status}: {body.get('error')} "
+            f"(phase {body.get('phase')})"
+        )
+    if body["results"][0]["target"] != "K":
+        return fail(f"DAG /execute computed {body['results'][0]['target']!r}, not 'K'")
+
+    # The per-phase latency histogram must now be on /metrics.
+    status, _, text = http_raw("GET", f"{base}/metrics")
+    if status != 200 or "repro_execute_phase_seconds" not in text:
+        return fail("/metrics is missing repro_execute_phase_seconds after /execute")
+    if "repro_execute_validation_failures 0" not in text:
+        return fail("/metrics is missing a zero validation-failure counter")
+    print(
+        f"execute tier: seeded (max rel error {seeded_error:.3g}), "
+        f"explicit-payload and DAG runs all validated server-side"
     )
     return 0
 
@@ -490,6 +571,10 @@ def main(argv=None) -> int:
             )
 
         problem = dag_check(base)
+        if problem:
+            return problem
+
+        problem = execute_check(base)
         if problem:
             return problem
 

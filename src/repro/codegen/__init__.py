@@ -48,6 +48,11 @@ class Emitter:
     name: str
     generate: Callable[..., str]
     function_name: Callable[[str], str]
+    #: Whole-program back-ends (e.g. the ``module`` emitter of
+    #: :mod:`repro.exec`) render ONE artifact for a multi-segment DAG:
+    #: ``CompilationResult.emit`` routes them through the stitched program
+    #: instead of concatenating per-segment functions.
+    stitched: bool = False
 
     def emit(self, program: Program, target: str = "result") -> str:
         """Render *program* as a function named for assignment *target*."""
@@ -61,13 +66,17 @@ def register_emitter(
     name: str,
     generate: Callable[..., str],
     function_name: Optional[Callable[[str], str]] = None,
+    stitched: bool = False,
 ) -> Emitter:
     """Register (or replace) a code emitter under *name*.
 
     *generate* must accept ``(program, function_name=...)`` and return
     source text; *function_name* maps an assignment target to the function
-    name (defaults to ``compute_<target>``).  Returns the registered
-    :class:`Emitter`, so third-party back-ends can do::
+    name (defaults to ``compute_<target>``).  *stitched* marks
+    whole-program back-ends: ``CompilationResult.emit`` hands them the
+    stitched DAG program instead of concatenating per-segment output.
+    Returns the registered :class:`Emitter`, so third-party back-ends can
+    do::
 
         register_emitter("mylang", render_mylang)
         result.emit("mylang")
@@ -78,6 +87,7 @@ def register_emitter(
         name=name,
         generate=generate,
         function_name=function_name or (lambda target: f"compute_{target}"),
+        stitched=stitched,
     )
     _EMITTERS[name] = emitter
     return emitter
@@ -100,3 +110,11 @@ def available_emitters() -> Tuple[str, ...]:
 
 register_emitter("julia", generate_julia, lambda target: f"compute_{target}")
 register_emitter("numpy", generate_numpy, lambda target: f"compute_{target.lower()}")
+
+# The execution tier's ``module`` emitter registers itself at the bottom of
+# repro.exec.emitter; importing the module here (for its side effect) keeps
+# "module" available wherever the registry is -- the CLI's --emit choices,
+# CompileOptions.validate, the service's emit option.  The *module object*
+# import form tolerates the partial-initialization window when repro.exec
+# is what triggered this package's import in the first place.
+from ..exec import emitter as _module_emitter  # noqa: E402,F401

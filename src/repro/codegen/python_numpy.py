@@ -3,9 +3,11 @@
 Renders a :class:`~repro.kernels.kernel.Program` as executable Python source
 built on NumPy/SciPy.  The generated function takes the input operands as
 keyword arguments and returns the chain result; the helper routines it calls
-(``solve_triangular``, ``cholesky_solve``, ...) live in
-:mod:`repro.runtime.kernels_numpy`, so generated code and the interpreter
-share a single kernel implementation.
+(``solve_triangular``, ``cholesky_solve``, ...) are **inlined** into the
+emitted source (:mod:`repro.codegen.runtime_inline`) -- extracted verbatim
+from :mod:`repro.runtime.kernels_numpy`, so generated code and the
+interpreter share a single kernel implementation while the generated source
+stays standalone (no ``repro`` import required to run it).
 """
 
 from __future__ import annotations
@@ -15,21 +17,15 @@ from typing import List
 from ..algebra.expression import Matrix
 from ..kernels.kernel import Program
 from .julia import _input_operands
-
-_PREAMBLE = (
-    "import numpy as np\n"
-    "from repro.runtime.kernels_numpy import (\n"
-    "    cholesky_solve, diagonal_solve, invert, invert_diagonal, invert_spd,\n"
-    "    invert_triangular, lu_solve, solve_triangular, symmetric_solve,\n"
-    ")\n"
-)
+from .runtime_inline import standalone_preamble
 
 
 def generate_numpy(program: Program, function_name: str = "compute") -> str:
-    """Render a program as a Python function using NumPy/SciPy kernels."""
+    """Render a program as a standalone Python function using NumPy/SciPy."""
     operands = _input_operands(program)
     arguments = ", ".join(operand.name for operand in operands)
-    lines: List[str] = [_PREAMBLE, ""]
+    statements = [call.numpy() for call in program.calls]
+    lines: List[str] = [standalone_preamble(statements), ""]
     lines.append(f"def {function_name}({arguments}):")
     if program.expression is not None:
         lines.append(f'    """Computes {program.expression}."""')

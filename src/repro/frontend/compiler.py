@@ -233,8 +233,12 @@ class CompilationResult:
         segments alike) becomes its own function; synthetic results appear
         as input parameters of the functions that consume them.  Use
         :meth:`emit_stitched` for one self-contained function computing the
-        whole DAG.
+        whole DAG.  Emitters registered with ``stitched=True`` (the
+        ``module`` emitter of :mod:`repro.exec`) always render the stitched
+        whole-DAG program -- one importable artifact, not one per segment.
         """
+        if get_emitter(target_language).stitched:
+            return self.emit_stitched(target_language)
         return "\n\n".join(
             compiled.emit(target_language) for compiled in self.assignments
         )
@@ -724,6 +728,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="what to print: a human-readable report or generated code",
     )
     parser.add_argument(
+        "--execute",
+        action="store_true",
+        help=(
+            "after compiling, run the program through the execution tier: "
+            "emit the plan as a standalone module, import it, execute it "
+            "on seeded property-respecting random operands and validate "
+            "the result against the reference evaluation"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random-operand seed for --execute (default: 0)",
+    )
+    parser.add_argument(
+        "--rtol",
+        type=float,
+        default=1e-6,
+        help="relative validation tolerance for --execute (default: 1e-6)",
+    )
+    parser.add_argument(
         "--trace",
         default=None,
         metavar="PATH",
@@ -812,6 +838,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             ignored.append("--emit")
         if args.trace is not None:
             ignored.append("--trace")
+        if args.execute:
+            ignored.append("--execute")
         if ignored:
             parser.error(
                 f"{', '.join(ignored)} cannot be combined with --serve: "
@@ -834,7 +862,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             text = handle.read()
     else:
         text = sys.stdin.read()
-    result = Compiler(build_options(args)).compile(text)
+    compiler = Compiler(build_options(args))
+    result = compiler.compile(text)
     if args.emit == "report":
         print(result.report())
     else:
@@ -843,4 +872,51 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         result.trace.write(args.trace, fmt=args.trace_format)
         print(result.explain())
         print(f"trace written to {args.trace} ({args.trace_format})")
+    if args.execute:
+        # Same warm session: the plan cache answers the recompile inside
+        # the execution path, so --execute costs one run, not two solves.
+        from ..exec.api import ExecuteRequest, run_execute_request
+        from ..service.api import CompileRequest
+
+        response = run_execute_request(
+            ExecuteRequest(
+                compile=CompileRequest(source=text, options=build_options(args)),
+                seed=args.seed,
+                rtol=args.rtol,
+            ),
+            compiler=compiler,
+        )
+        print(_execution_report(response))
+        if not response.ok:
+            return 1
     return 0
+
+
+def _execution_report(response) -> str:
+    """The human-readable ``--execute`` section appended to CLI output."""
+    lines = ["", "execution:"]
+    if not response.ok:
+        lines.append(f"  FAILED in phase {response.phase!r}: {response.error}")
+        return "\n".join(lines)
+    cache = "  [module cache hit]" if response.module_cache_hit else ""
+    lines.append(f"  engine: {response.engine} ({response.implementation}){cache}")
+    for summary in response.results:
+        lines.append(
+            f"  result {summary['target']}: "
+            f"{summary['rows']} x {summary['columns']}"
+            f"  |fro| = {summary['fro_norm']:.6g}"
+        )
+    if response.validated is not None:
+        lines.append(
+            f"  validated against reference: max relative error "
+            f"{response.max_rel_error:.3g}"
+        )
+    timing = response.timing or {}
+    phases = ", ".join(
+        f"{key[:-2]} {timing[key] * 1e3:.2f} ms"
+        for key in ("compile_s", "emit_s", "import_s", "run_s", "validate_s")
+        if key in timing
+    )
+    if phases:
+        lines.append(f"  timing: {phases}")
+    return "\n".join(lines)

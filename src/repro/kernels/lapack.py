@@ -148,7 +148,14 @@ def _solve_family(
                         + "("
                         + ("{X}" if side == "L" else "{Y}")
                         + ", "
-                        + ("{Y}" if side == "L" else "{X}")
+                        # The right-hand side carries its own transpose code
+                        # (the coefficient's transpose travels separately via
+                        # ``transposed=True``).
+                        + (
+                            _np_operand("{Y}", right)
+                            if side == "L"
+                            else _np_operand("{X}", left)
+                        )
                         + (", transposed=True" if transposed_system else "")
                         + (", side='R'" if side == "R" else "")
                         + ")"
@@ -282,7 +289,13 @@ def build_combined_inverse_kernels() -> List[Kernel]:
                     efficiency=EFFICIENCY["GESV2"],
                     runtime="solve_both",
                     julia_template="gesv!({X}, getri!({Y}))",
-                    numpy_template="{out} = lu_solve({X}, invert({Y}))",
+                    numpy_template=(
+                        "{out} = lu_solve({X}, invert("
+                        + _np_operand("{Y}", right)
+                        + ")"
+                        + (", transposed=True" if left == "IT" else "")
+                        + ")"
+                    ),
                     level="lapack",
                     description="product of two inverted operands (composite kernel)",
                     flags={"left_op": left, "right_op": right, "structure": "general"},

@@ -121,7 +121,9 @@ class CompileOptions:
     #: Consult the session's whole-plan cache (:mod:`repro.persist`) before
     #: dispatching to a solver; a hit skips the entire dynamic program.
     plan_cache: bool = True
-    #: Code emitters to run, by registered name (``"julia"``, ``"numpy"``).
+    #: Code emitters to run, by registered name (``"julia"``, ``"numpy"``,
+    #: or ``"module"`` -- the standalone importable module of the execution
+    #: tier, :mod:`repro.exec`).
     emit: Tuple[str, ...] = ()
     #: Per-request time budget in seconds: the DP loops check it at cell
     #: boundaries and return the best-so-far solution with

@@ -12,6 +12,7 @@ from .operands import (
     instantiate_expression,
     instantiate_matrix,
     instantiate_operands,
+    random_environment,
 )
 from .reference import ReferenceEvaluationError, allclose, evaluate
 from .timing import TimingResult, estimate_time, time_callable, time_program
@@ -24,6 +25,7 @@ __all__ = [
     "instantiate_operands",
     "instantiate_expression",
     "chain_operands",
+    "random_environment",
     "evaluate",
     "allclose",
     "ReferenceEvaluationError",

@@ -90,6 +90,75 @@ def instantiate_expression(
     return instantiate_operands(chain_operands(expression).values(), rng=rng)
 
 
+def _collect_operands(program) -> Dict[str, Matrix]:
+    """Name -> operand for whatever carries operands (see
+    :func:`random_environment`)."""
+    if isinstance(program, Expression):
+        return chain_operands(program)
+    declared = getattr(program, "operands", None)
+    if isinstance(declared, Mapping):
+        return {name: operand for name, operand in declared.items()}
+    if isinstance(program, Mapping):
+        return dict(program)
+    try:
+        return {
+            operand.name: operand
+            for operand in program
+            if isinstance(operand, Matrix)
+        }
+    except TypeError:
+        raise TypeError(
+            f"cannot collect operands from {program!r}; expected an "
+            f"Expression, a parsed/compiled program, a name->Matrix mapping "
+            f"or an iterable of Matrix operands"
+        ) from None
+
+
+def random_environment(
+    program,
+    seed: Optional[int] = 0,
+    rng: Optional[np.random.Generator] = None,
+    overrides: Optional[Mapping[str, np.ndarray]] = None,
+) -> Dict[str, np.ndarray]:
+    """Seeded, property-respecting random operand values for *program*.
+
+    The reproducible operand source of the execution tier: ``POST
+    /execute`` (without explicit payloads), the CLI's ``--execute``, the
+    tests and the benchmarks all draw operands through this helper, so one
+    ``seed`` pins the numerics everywhere.
+
+    *program* may be anything that carries operands: a parsed DSL program
+    or a :class:`~repro.frontend.compiler.CompilationResult` (their
+    ``operands`` mapping), a bare :class:`~repro.algebra.expression.Expression`
+    (its leaves), a name -> :class:`Matrix` mapping, or an iterable of
+    operands.  Draws happen in sorted-name order from one generator seeded
+    with *seed*, so the environment is deterministic regardless of how the
+    operands were collected.  *overrides* supplies explicit values for a
+    subset of operands (shape-checked against the declaration).
+    """
+    operands = _collect_operands(program)
+    if rng is None:
+        rng = np.random.default_rng(seed)
+    environment: Dict[str, np.ndarray] = {}
+    for name in sorted(operands):
+        environment[name] = instantiate_matrix(operands[name], rng)
+    for name, value in (overrides or {}).items():
+        if name not in operands:
+            known = ", ".join(sorted(operands)) or "<none>"
+            raise ValueError(
+                f"override for undeclared operand {name!r}; declared: {known}"
+            )
+        array = np.asarray(value, dtype=float)
+        operand = operands[name]
+        if array.shape != (operand.rows, operand.columns):
+            raise ValueError(
+                f"operand {name!r}: payload shape {array.shape} does not "
+                f"match the declared {operand.rows} x {operand.columns}"
+            )
+        environment[name] = array
+    return environment
+
+
 def scale_environment(
     environment: Mapping[str, np.ndarray], factor: float
 ) -> Dict[str, np.ndarray]:

@@ -12,8 +12,12 @@ long-running, concurrent service:
   warm-cache worker processes with signature-affinity routing and
   crash restart, plus the synchronous :class:`InProcessExecutor` fallback;
 * :mod:`repro.service.http` -- stdlib HTTP front-end (``POST /compile``,
-  ``POST /batch``, ``GET /stats``, ``GET /healthz``), wired into the CLI
-  as ``python -m repro.frontend --serve``;
+  ``POST /batch``, ``POST /execute``, ``GET /stats``, ``GET /healthz``),
+  wired into the CLI as ``python -m repro.frontend --serve``;
+* :mod:`repro.exec` -- the execution tier behind ``POST /execute``:
+  standalone-module emitter, module loader/cache, and the
+  :class:`~repro.exec.api.ExecuteRequest` /
+  :class:`~repro.exec.api.ExecuteResponse` wire model;
 * :mod:`repro.telemetry` -- unified snapshot/aggregation of the five cache
   layers (plan cache, match cache, interner, inference memo, kernel-cost
   LRU); it has no service dependencies and lives at the package root

@@ -18,6 +18,19 @@ Endpoints (all JSON):
     per-worker in-flight bound would be exceeded (backpressure), the whole
     batch -- and likewise a single ``/compile`` -- is rejected with ``429``
     and a ``Retry-After`` header instead of queueing without limit.
+``POST /execute``
+    body: a ``/compile`` request dict plus a nested ``execute`` object
+    (:class:`repro.exec.api.ExecuteRequest`): compile the program AND run
+    it through the execution tier -- emit the solved plan as a standalone
+    module, import it, execute it against the supplied ``payloads`` (or
+    seeded property-respecting random operands) and validate the numerics
+    against the direct reference evaluation within ``rtol``.  200 with an
+    :class:`~repro.exec.api.ExecuteResponse` dict on success; 400 with the
+    full ``ok=False`` response (its ``phase`` names the failing stage) on
+    compile/run/validation failure.  Per-phase latencies land in the
+    ``repro_execute_phase_seconds`` histogram on ``/metrics``; validation
+    failures increment ``repro_execute_validation_failures`` and emit one
+    structured warning line.
 ``POST /snapshot``
     persist the executor's cache state (plan cache + match cache) to the
     configured ``--snapshot-dir`` (:mod:`repro.persist.snapshot`); 200 with
@@ -74,7 +87,7 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Endpoints that get their own latency-histogram label; anything else is
 #: pooled under ``other`` so unknown paths cannot grow label cardinality.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/healthz", "/stats", "/metrics", "/compile", "/batch", "/snapshot"}
+    {"/healthz", "/stats", "/metrics", "/compile", "/batch", "/snapshot", "/execute"}
 )
 
 _LOG = get_logger("service.http")
@@ -223,6 +236,39 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             extra_gauges=gauges,
         )
 
+    def _observe_execution(self, response) -> None:
+        """Per-phase latency histograms and validation-failure accounting
+        for one ``/execute`` response."""
+        metrics = service_metrics()
+        for key, elapsed in (response.timing or {}).items():
+            if not key.endswith("_s"):
+                continue
+            metrics.histogram(
+                "repro_execute_phase_seconds",
+                help_text="POST /execute latency by phase, in seconds",
+                phase=key[:-2],
+            ).observe(elapsed)
+        # Touched on every execute (not just failures) so the exposition
+        # shows an explicit zero sample before the first divergence.
+        failures = metrics.counter(
+            "repro_execute_validation_failures",
+            help_text="Executions whose result diverged from the reference",
+        )
+        failures.inc(0.0)
+        if response.validated is False:
+            failures.inc()
+            _LOG.warning(
+                "execute validation failed",
+                extra={
+                    "request_id": response.request_id,
+                    "engine": response.engine,
+                    "implementation": response.implementation,
+                    "max_rel_error": response.max_rel_error,
+                    "worker": response.worker,
+                    "error": response.error,
+                },
+            )
+
     def _handle_post(self, path: str) -> None:
         executor = self.server.executor
         try:
@@ -261,6 +307,19 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 response = executor.submit(request)
                 self._request_id = response.request_id or self._request_id
                 self._send_json(200 if response.ok else 400, response.to_dict())
+            elif path == "/execute":
+                # Imported lazily (repro.exec.api imports this package).
+                from ..exec.api import ExecuteRequest
+
+                if isinstance(payload, dict) and not payload.get("request_id"):
+                    payload = dict(payload, request_id=self._request_id)
+                exec_request = ExecuteRequest.from_dict(payload)
+                exec_response = executor.execute(exec_request)
+                self._request_id = exec_response.request_id or self._request_id
+                self._observe_execution(exec_response)
+                self._send_json(
+                    200 if exec_response.ok else 400, exec_response.to_dict()
+                )
             elif path == "/batch":
                 if not isinstance(payload, dict) or not isinstance(
                     payload.get("requests"), list

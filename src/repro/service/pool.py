@@ -7,6 +7,10 @@ front-end (:mod:`repro.service.http`) and by library users:
     compile one request;
 ``compile_batch(requests) -> List[CompileResponse]``
     compile many requests, responses in submission order;
+``execute(request) -> ExecuteResponse``
+    compile **and run** one :class:`~repro.exec.api.ExecuteRequest`
+    through the execution tier (emit standalone module, import, run,
+    validate against the reference) -- the backing of ``POST /execute``;
 ``stats() / reset_stats()``
     pooled cache telemetry (see :mod:`repro.service.telemetry`);
 ``ping() / close()``
@@ -199,6 +203,24 @@ class InProcessExecutor:
             with self._gate:
                 self._pending -= 1
 
+    def execute(self, request, timeout: Optional[float] = None):
+        """Compile-and-run one :class:`~repro.exec.api.ExecuteRequest` on
+        the shared warm session (same backpressure as :meth:`submit`)."""
+        # Imported lazily: repro.exec.api itself imports this package.
+        from ..exec.api import run_execute_request
+
+        self._reserve(1)
+        try:
+            with self._lock:
+                response = run_execute_request(request, compiler=self.compiler)
+                self.requests_served += 1
+                if not response.ok:
+                    self.errors += 1
+                return response
+        finally:
+            with self._gate:
+                self._pending -= 1
+
     def compile_batch(
         self, requests: Sequence[CompileRequest], timeout: Optional[float] = None
     ) -> List[CompileResponse]:
@@ -327,6 +349,28 @@ def _worker_main(
                     request_id=str((payload or {}).get("request_id", "")),
                     ok=False,
                     error=f"{type(exc).__name__}: {exc}",
+                    worker=worker_id,
+                )
+            served += 1
+            if not response.ok:
+                failed += 1
+            outbox.put((token, response.to_dict()))
+        elif kind == "execute":
+            # Imported here, not at module top: repro.exec.api imports
+            # repro.service.api, whose package init imports this module.
+            from ..exec.api import ExecuteRequest, ExecuteResponse, run_execute_request
+
+            try:
+                exec_request = ExecuteRequest.from_dict(payload)
+                response = run_execute_request(
+                    exec_request, compiler=compiler, worker=worker_id
+                )
+            except Exception as exc:  # noqa: BLE001 -- never kill the loop
+                response = ExecuteResponse(
+                    request_id=str((payload or {}).get("request_id", "")),
+                    ok=False,
+                    error=f"{type(exc).__name__}: {exc}",
+                    phase="request",
                     worker=worker_id,
                 )
             served += 1
@@ -522,7 +566,7 @@ class WorkerPool:
 
     def _release(self, entry) -> None:
         """Drop an in-flight entry's backpressure reservation (lock held)."""
-        if entry is not None and entry[1] == "request":
+        if entry is not None and entry[1] in ("request", "execute"):
             self._request_load[entry[0]] -= 1
 
     def _reserve(self, indices: Sequence[int]) -> None:
@@ -621,6 +665,16 @@ class WorkerPool:
                 error=message,
                 worker=index,
             ).to_dict()
+        if kind == "execute":
+            from ..exec.api import ExecuteResponse
+
+            return ExecuteResponse(
+                request_id=str((payload or {}).get("request_id", "")),
+                ok=False,
+                error=message,
+                phase="request",
+                worker=index,
+            ).to_dict()
         return {"error": message, "worker": index}
 
     def _wait(self, token: int, timeout: Optional[float]):
@@ -656,6 +710,16 @@ class WorkerPool:
                 ok=False,
                 error=message,
             ).to_dict()
+        if kind == "execute":
+            from ..exec.api import ExecuteResponse
+
+            payload = entry[2] if entry else None
+            return ExecuteResponse(
+                request_id=str((payload or {}).get("request_id", "")),
+                ok=False,
+                error=message,
+                phase="request",
+            ).to_dict()
         return {"error": message}
 
     # -------------------------------------------------------------- routing
@@ -676,6 +740,21 @@ class WorkerPool:
         self._reserve([index])
         token = self._dispatch(index, "request", request.to_dict())
         return CompileResponse.from_dict(self._wait(token, timeout))
+
+    def execute(self, request, timeout: Optional[float] = None):
+        """Compile-and-run one :class:`~repro.exec.api.ExecuteRequest`.
+
+        Routed by the *compile* half's affinity key, so an execute lands on
+        the worker whose plan/match caches -- and emitted-module cache --
+        are already warm for structurally similar programs.  Counts against
+        the same per-worker in-flight bound as :meth:`submit`.
+        """
+        from ..exec.api import ExecuteResponse
+
+        index = self.worker_for(request.compile)
+        self._reserve([index])
+        token = self._dispatch(index, "execute", request.to_dict())
+        return ExecuteResponse.from_dict(self._wait(token, timeout))
 
     def compile_batch(
         self, requests: Sequence[CompileRequest], timeout: Optional[float] = None

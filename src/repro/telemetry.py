@@ -26,7 +26,11 @@ each of which exposes the uniform ``stats()`` / ``reset_stats()`` protocol
 * the **segment counters**
   (:class:`repro.core.segments.SegmentTelemetry`) -- DAG programs
   decomposed, chain segments produced, synthetic segments, CSE reuses and
-  the per-segment plan-cache hits/misses recorded by the compiler loop.
+  the per-segment plan-cache hits/misses recorded by the compiler loop;
+* the **execution counters**
+  (:class:`repro.exec.loader.ExecutionTelemetry`) -- emitted-module cache
+  occupancy/hits of the execution tier plus the runs, run errors and
+  numerical-validation failures recorded by ``POST /execute``.
 
 This module never mutates pipeline state beyond ``reset_stats``; it only
 *reads* the counters the layers maintain themselves, so the service layer
@@ -60,6 +64,7 @@ CACHE_LAYERS = (
     "kernel_cost",
     "solver",
     "segments",
+    "execution",
 )
 
 #: Counter keys that add up across workers / metric instances.
@@ -80,6 +85,9 @@ _SUMMED_KEYS = (
     "segments",
     "synthetic",
     "cse_reuses",
+    "runs",
+    "run_errors",
+    "validation_failures",
 )
 
 
@@ -111,6 +119,11 @@ def snapshot(
     (the layer reports zeros when the caller has none -- the plan cache is
     per-session state, unlike the process-global interner/inference memos).
     """
+    # Imported lazily: repro.exec pulls in the codegen registry, and the
+    # registry's own bootstrap imports repro.exec -- deferring here keeps
+    # telemetry importable from any point of that cycle.
+    from .exec.loader import execution_telemetry
+
     catalog = catalog if catalog is not None else default_catalog()
     plan_stats = (
         plan_cache.stats()
@@ -147,6 +160,7 @@ def snapshot(
         "kernel_cost": kernel_cost,
         "solver": solver_work_telemetry().stats(),
         "segments": segment_telemetry().stats(),
+        "execution": execution_telemetry().stats(),
     }
 
 
@@ -156,6 +170,8 @@ def reset(
     plan_cache=None,
 ) -> None:
     """Zero the stats counters of every layer (entries stay warm)."""
+    from .exec.loader import execution_telemetry
+
     catalog = catalog if catalog is not None else default_catalog()
     if plan_cache is not None:
         plan_cache.reset_stats()
@@ -164,6 +180,7 @@ def reset(
     inference_engine().reset_stats()
     solver_work_telemetry().reset_stats()
     segment_telemetry().reset_stats()
+    execution_telemetry().reset_stats()
     for metric in (metrics or {}).values():
         metric.reset_stats()
 
