@@ -33,10 +33,11 @@ snapshot-check:
 api-check:
 	$(PYTHON) scripts/ci_api_check.py
 
-## CI-sized benchmark (fails on legacy/memoized solution divergence or a
-## measurable untraced-hot-path overhead from the observability layer).
+## CI-sized benchmark (fails on legacy/memoized solution divergence, a
+## measurable untraced-hot-path overhead from the observability layer, or
+## a warm-serve analytics overhead at/above 3%).
 bench-smoke:
-	$(PYTHON) scripts/bench_generation.py --smoke --check-trace-overhead 0.03 --check-execute-identity --output bench_smoke.json
+	$(PYTHON) scripts/bench_generation.py --smoke --check-trace-overhead 0.03 --check-analytics-overhead 0.03 --check-execute-identity --output bench_smoke.json
 
 ## Paper-reproduction benchmark suite (pytest-benchmark).
 paper-benchmarks:

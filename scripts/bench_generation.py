@@ -65,6 +65,14 @@ clean up would slow every later cell), plus the informational traced-on
 cost.  ``--check-trace-overhead X`` (CI uses 0.03) fails the run when the
 untraced hot path is not measurably free.
 
+A seventh section gates **workload-analytics overhead**
+(:mod:`repro.obs.analytics`): warm serve requests through one shared
+session, alternating per request between analytics recording (the
+always-on default) and ``analytics_disabled()``, reporting the median of
+paired per-repeat CPU-time ratios.  ``--check-analytics-overhead X`` (CI
+uses 0.03) fails the run when the recording arm exceeds the off arm by
+``X`` or more.
+
 For every chain all configurations must produce identical solutions
 (optimal cost and parenthesization); the script asserts this and records the
 outcome, so the benchmark doubles as an end-to-end equivalence check on the
@@ -85,6 +93,7 @@ benchmarked length) falls below ``R`` (both used by CI).
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import math
 import statistics
@@ -503,6 +512,104 @@ def run_trace_overhead(lengths, seed, repeats=11, solves_per_sample=20):
         "solutions_match": not mismatches,
         "mismatches": mismatches,
     }
+
+
+def run_analytics_overhead(seed, repeats=15, requests_per_sample=40, length=8):
+    """Gate: always-on workload analytics stays within a few percent of off.
+
+    One warm in-process serve session runs a signature-equal request
+    stream through :func:`repro.service.api.execute_request`, alternating
+    *per request* between workload analytics recording (the always-on
+    default) and :func:`repro.obs.analytics.analytics_disabled`.  A single
+    shared session is essential: two separate sessions differ by several
+    percent on identical work (allocator layout, dict insertion order), a
+    bias larger than the effect under test.  Each repeat yields a paired
+    on/off CPU-time ratio -- ``time.process_time`` so other tenants'
+    scheduler preemption does not count against either arm, the cyclic GC
+    paused so collection cadence does not alias with the arm pattern --
+    and the reported overhead is the **median** of the per-repeat ratios,
+    robust to interference bursts that min-of-samples cannot filter.  The
+    warm serve path is where the per-request sketch updates (heavy-hitter
+    counter, latency quantile buckets, ring slot) land, so it is the
+    worst case for the analytics layer's relative cost.
+
+    ``--check-analytics-overhead X`` fails the run when the analytics-on
+    arm is more than ``X`` slower than analytics-off (CI uses 0.03).
+    """
+    from repro.frontend.compiler import Compiler
+    from repro.obs.analytics import analytics_disabled, workload_analytics
+    from repro.service.api import CompileRequest, execute_request
+
+    problems = make_problems(length, 3, seed + 47_000)
+    sources = [problem_source(problem, "an") for problem in problems]
+    requests = [CompileRequest(source=source) for source in sources]
+    session = Compiler()
+
+    workload_analytics().reset()
+    # Warm-up: fill the plan cache so the timed samples measure the warm
+    # serve path (where per-request analytics cost is proportionally
+    # largest), not cold DP solves.
+    for request in requests:
+        response = execute_request(request, compiler=session)
+        assert response.ok, response.error
+
+    clock = time.process_time
+    passes = max(1, requests_per_sample // len(requests))
+    ratios = []
+    totals = {"analytics_on": 0.0, "analytics_off": 0.0}
+    for repeat in range(repeats):
+        on_s = off_s = 0.0
+        gc.collect()
+        gc.disable()
+        try:
+            for index in range(passes):
+                # Alternate which arm goes first so within-pass drift
+                # cancels instead of consistently taxing one arm.
+                on_first = (index + repeat) % 2 == 0
+                for request in requests:
+                    if on_first:
+                        start = clock()
+                        execute_request(request, compiler=session)
+                        on_s += clock() - start
+                    with analytics_disabled():
+                        start = clock()
+                        execute_request(request, compiler=session)
+                        off_s += clock() - start
+                    if not on_first:
+                        start = clock()
+                        execute_request(request, compiler=session)
+                        on_s += clock() - start
+        finally:
+            gc.enable()
+        totals["analytics_on"] += on_s
+        totals["analytics_off"] += off_s
+        ratios.append(on_s / off_s - 1.0 if off_s > 0 else math.inf)
+
+    recorded = workload_analytics().state()["requests"]
+    workload_analytics().reset()
+    overhead = statistics.median(ratios)
+    entry = {
+        "description": (
+            "warm in-process serve CPU time with workload analytics "
+            "recording vs inside analytics_disabled(), one shared session, "
+            "per-request interleaving, median of paired per-repeat ratios"
+        ),
+        "length": length,
+        "repeats": repeats,
+        "requests_per_sample": passes * len(requests),
+        "analytics_on_s": totals["analytics_on"],
+        "analytics_off_s": totals["analytics_off"],
+        "overhead": overhead,
+        "repeat_overheads": ratios,
+        "requests_recorded": recorded,
+    }
+    print(
+        f"analytics overhead: on {totals['analytics_on'] * 1e3:8.2f} ms, "
+        f"off {totals['analytics_off'] * 1e3:8.2f} ms CPU "
+        f"({overhead * 100:+6.2f}% median of {repeats} paired repeats, "
+        f"{passes * len(requests)} warm requests per arm per repeat)"
+    )
+    return entry
 
 
 def problem_source(problem, tag):
@@ -1209,6 +1316,18 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
+        "--check-analytics-overhead",
+        type=float,
+        default=None,
+        metavar="X",
+        help=(
+            "exit non-zero unless the warm serve path with workload "
+            "analytics recording stays within X of analytics-off "
+            "(CI uses 0.03: the always-on sketches must cost at most a "
+            "few percent)"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=Path(__file__).resolve().parent.parent / "BENCH_generation.json",
@@ -1264,6 +1383,10 @@ def main(argv=None) -> int:
     print("\n== trace overhead: untraced hot path vs never-traced baseline ==")
     trace_lengths = (10, 12) if args.smoke else (10, 12, 14)
     report["trace_overhead"] = run_trace_overhead(trace_lengths, args.seed)
+    print("\n== analytics overhead: warm serve path, recording on vs off ==")
+    report["analytics_overhead"] = run_analytics_overhead(
+        args.seed, repeats=9 if args.smoke else 15
+    )
     args.output.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.output}")
 
@@ -1423,6 +1546,18 @@ def main(argv=None) -> int:
             f"ERROR: untraced hot-path overhead "
             f"{trace_overhead['overall']['untraced_overhead'] * 100:.2f}% not "
             f"below the required {args.check_trace_overhead * 100:.2f}%",
+            file=sys.stderr,
+        )
+        return 1
+    if (
+        args.check_analytics_overhead is not None
+        and report["analytics_overhead"]["overhead"]
+        >= args.check_analytics_overhead
+    ):
+        print(
+            f"ERROR: warm-serve analytics overhead "
+            f"{report['analytics_overhead']['overhead'] * 100:.2f}% not "
+            f"below the required {args.check_analytics_overhead * 100:.2f}%",
             file=sys.stderr,
         )
         return 1

@@ -33,7 +33,14 @@ worker pool), then drives the acceptance workload against it:
    per-endpoint latency histograms (monotone cumulative buckets ending in
    ``le="+Inf"``), and every response must echo the client's
    ``X-Request-Id`` header (which also lands as the response body's
-   ``request_id`` after riding through a pool worker).
+   ``request_id`` after riding through a pool worker);
+8. **workload analytics**: after the skewed traffic above, ``GET
+   /analytics`` must rank the template structure's signature first (the
+   key equal to an in-process :func:`repro.service.api.affinity_key`
+   computation, proving cross-process key stability), ``GET /metrics``
+   must carry a positive ``repro_compile_phase_latency_seconds`` p99
+   quantile series and ``GET /timeseries`` must have recorded the
+   requests on its counter rings.
 
 With ``--snapshot``, a second phase exercises **snapshot-backed warm
 boot**: the server is restarted against a shared ``--snapshot-dir`` after
@@ -287,6 +294,83 @@ def observability_check(base: str) -> int:
         f"observability: request id echoed end to end, /metrics exposition "
         f"well-formed ({lines} lines, {len(CACHE_LAYERS)} telemetry layers, "
         f"monotone latency buckets)"
+    )
+    return 0
+
+
+def analytics_check(base: str) -> int:
+    """Phase: skewed traffic must surface in the workload analytics.
+
+    By this point the driver has sent many signature-equal ``TEMPLATE``
+    requests and exactly a handful of other structures, so ``GET
+    /analytics`` must rank the template signature first (with the key
+    matching an in-process :func:`repro.service.api.affinity_key`
+    computation -- proving the heavy-hitter keys are stable across the
+    client/worker process boundary), ``GET /metrics`` must carry nonzero
+    latency quantile series, and ``GET /timeseries`` must show the
+    request counters.
+    """
+    from repro.service.api import CompileRequest, affinity_key
+
+    # A little extra skew, so the phase also passes standalone.
+    for index in range(3):
+        status, body = http_json(
+            "POST", f"{base}/compile", {"source": tagged_source(f"an{index}")}
+        )
+        if status != 200 or not body.get("ok"):
+            return fail(f"analytics warmup /compile returned {status}")
+
+    status, report = http_json("GET", f"{base}/analytics")
+    if status != 200:
+        return fail(f"GET /analytics returned {status}")
+    top = (report.get("signatures") or {}).get("top") or []
+    if not top:
+        return fail("/analytics reports no tracked signatures")
+    expected_key = affinity_key(CompileRequest(source=tagged_source("probe")))
+    if top[0]["signature"] != expected_key:
+        return fail(
+            f"/analytics top-1 signature is not the template structure: "
+            f"{top[0]['signature'][:80]!r}..."
+        )
+    if top[0]["count"] < 3 or top[0]["count"] > report.get("requests", 0):
+        return fail(f"implausible top-1 count {top[0]['count']}")
+    if len(top) < 2 or any(
+        top[i]["count"] < top[i + 1]["count"] for i in range(len(top) - 1)
+    ):
+        return fail(f"/analytics top-k not sorted by count: {top}")
+    if not 0.0 < top[0]["plan_hit_rate"] <= 1.0:
+        return fail(
+            f"template signature plan-hit rate {top[0]['plan_hit_rate']} "
+            f"not in (0, 1] despite warm traffic"
+        )
+
+    status, _, text = http_raw("GET", f"{base}/metrics")
+    if status != 200:
+        return fail(f"GET /metrics returned {status}")
+    quantile_line = re.compile(
+        r'repro_compile_phase_latency_seconds\{phase="solve",quantile="0.99"\} '
+        r"([0-9eE\.\+\-]+)"
+    )
+    match = quantile_line.search(text)
+    if not match:
+        return fail("/metrics is missing the solve p99 quantile series")
+    if not float(match.group(1)) > 0.0:
+        return fail(f"solve p99 is not positive: {match.group(0)!r}")
+
+    status, series = http_json("GET", f"{base}/timeseries")
+    if status != 200:
+        return fail(f"GET /timeseries returned {status}")
+    requests_series = (series.get("series") or {}).get("requests") or []
+    recorded = sum(value for _, value in requests_series)
+    if recorded < 3:
+        return fail(f"/timeseries requests series only recorded {recorded}")
+
+    print(
+        f"analytics: top-1 signature matches the in-process affinity key "
+        f"(count {top[0]['count']}, plan-hit rate "
+        f"{top[0]['plan_hit_rate']:.3f}), solve p99 "
+        f"{float(match.group(1)) * 1e3:.3f} ms, {recorded:.0f} requests on "
+        f"the time series"
     )
     return 0
 
@@ -579,6 +663,10 @@ def main(argv=None) -> int:
             return problem
 
         problem = observability_check(base)
+        if problem:
+            return problem
+
+        problem = analytics_check(base)
         if problem:
             return problem
 

@@ -17,6 +17,7 @@ from .expression import (
     Vector,
     ZeroMatrix,
     signature_digest,
+    signature_repr,
 )
 from .inference import (
     PropertyInference,
@@ -64,6 +65,7 @@ __all__ = [
     "Reference",
     "ShapeError",
     "signature_digest",
+    "signature_repr",
     "Times",
     "Plus",
     "Transpose",

@@ -13,6 +13,7 @@ shape and properties).
 
 from __future__ import annotations
 
+import functools
 import itertools
 from typing import FrozenSet, Iterable, Iterator, Optional, Tuple
 
@@ -458,15 +459,40 @@ def matrix_properties(expr: Expression) -> FrozenSet[Property]:
     return frozenset()
 
 
+def _canonical_signature_part(part):
+    if isinstance(part, frozenset):
+        return tuple(sorted(p.name for p in part))
+    if isinstance(part, tuple):
+        return tuple(_canonical_signature_part(p) for p in part)
+    return part
+
+
+@functools.lru_cache(maxsize=4096)
+def signature_repr(signature: Tuple) -> str:
+    """A cross-process-stable repr of a :meth:`Expression.signature` tuple.
+
+    The raw tuple embeds ``frozenset`` property sets whose iteration order
+    follows the members' identity hashes -- different in every process --
+    so ``repr(signature)`` is only stable *within* one process.  This
+    renders every frozenset as a sorted tuple of property names instead,
+    making the string safe to compare, hash or merge across the service's
+    worker-process boundary (request affinity keys, workload-analytics
+    heavy-hitter keys, :func:`signature_digest`).
+    """
+    return repr(_canonical_signature_part(signature))
+
+
 def signature_digest(expr: Expression) -> str:
     """A short stable digest of :meth:`Expression.signature`.
 
     Error messages and telemetry need to *name* a sub-expression's
     name-abstracted signature without dumping the full tuple (which grows
     with the chain); the digest is a 12-hex-character SHA-1 prefix of the
-    signature's repr, stable across processes for structurally equal
-    expressions.
+    signature's canonical repr (:func:`signature_repr`), stable across
+    processes for structurally equal expressions.
     """
     import hashlib
 
-    return hashlib.sha1(repr(expr.signature()).encode("utf-8")).hexdigest()[:12]
+    return hashlib.sha1(
+        signature_repr(expr.signature()).encode("utf-8")
+    ).hexdigest()[:12]

@@ -29,7 +29,7 @@ import numpy as np
 
 from ..algebra.expression import Matrix
 from ..frontend.compiler import CompilationResult, Compiler
-from ..obs.logging import get_logger
+from ..obs.logging import get_logger, log_rate_limited
 from ..runtime.executor import Executor
 from ..runtime.operands import random_environment
 from ..runtime.reference import evaluate as reference_evaluate
@@ -176,9 +176,20 @@ class ExecuteResponse:
     phase: Optional[str] = None
     worker: Optional[int] = None
     timing: Dict[str, float] = field(default_factory=dict)
+    #: Deep-profile payload of the compile phase when the request set
+    #: ``options.profile`` (see :mod:`repro.obs.profile`).
+    profile: Optional[dict] = None
+
+    def explain(self) -> str:
+        """Per-phase provenance report (compile/emit/import/run/validate
+        timings, module-cache outcome, validation verdict); the execution
+        counterpart of :meth:`CompilationResult.explain`."""
+        from ..obs.explain import explain_execution
+
+        return explain_execution(self)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "request_id": self.request_id,
             "ok": self.ok,
             "engine": self.engine,
@@ -194,6 +205,9 @@ class ExecuteResponse:
             "worker": self.worker,
             "timing": dict(self.timing),
         }
+        if self.profile is not None:
+            payload["profile"] = dict(self.profile)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping) -> "ExecuteResponse":
@@ -212,6 +226,9 @@ class ExecuteResponse:
             phase=payload.get("phase"),
             worker=payload.get("worker"),
             timing=dict(payload.get("timing", {})),
+            profile=(
+                dict(payload["profile"]) if payload.get("profile") else None
+            ),
         )
 
 
@@ -303,9 +320,22 @@ def run_execute_request(
 
         phase = "compile"
         t0 = time.perf_counter()
-        result = compiler.compile(
-            request.compile.to_source(), options=request.compile.options
-        )
+        profile: Optional[dict] = None
+        if request.compile.options.profile:
+            from ..obs.profile import profile_call, profile_payload
+
+            result, profiler = profile_call(
+                lambda: compiler.compile(
+                    request.compile.to_source(), options=request.compile.options
+                )
+            )
+            profile = profile_payload(profiler)
+        else:
+            result = compiler.compile(
+                request.compile.to_source(), options=request.compile.options
+            )
+        if result.trace is not None:
+            result.trace.request_id = request.request_id
         timing["compile_s"] = time.perf_counter() - t0
         targets = result.targets
         final_target = targets[-1] if targets else "program"
@@ -400,17 +430,20 @@ def run_execute_request(
             timing["validate_s"] = time.perf_counter() - t0
             if not validated:
                 telemetry.record_validation_failure()
-                _LOG.warning(
+                # Rate-limited: a client replaying a divergent request in
+                # a loop must not storm the log (the swallowed count rides
+                # on the next emitted line as suppressed_count).
+                log_rate_limited(
+                    _LOG,
+                    "warning",
                     "execute validation failed",
-                    extra={
-                        "request_id": request.request_id,
-                        "target": final_target,
-                        "engine": request.engine,
-                        "implementation": implementation,
-                        "max_rel_error": max_rel_error,
-                        "rtol": request.rtol,
-                        "seed": request.seed,
-                    },
+                    request_id=request.request_id,
+                    target=final_target,
+                    engine=request.engine,
+                    implementation=implementation,
+                    max_rel_error=max_rel_error,
+                    rtol=request.rtol,
+                    seed=request.seed,
                 )
                 return ExecuteResponse(
                     request_id=request.request_id,
@@ -446,6 +479,7 @@ def run_execute_request(
             total_flops=result.total_flops,
             worker=worker,
             timing=dict(timing, total_s=time.perf_counter() - started),
+            profile=profile,
         )
     except Exception as exc:  # noqa: BLE001 -- fold into the response
         return ExecuteResponse(

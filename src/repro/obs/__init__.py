@@ -1,24 +1,56 @@
-"""Observability: compile tracing, service metrics, structured logging.
+"""Observability: tracing, metrics, logging, analytics, profiling.
 
-Four stdlib-only modules, threaded through every layer of the pipeline:
+Six stdlib-only modules, threaded through every layer of the pipeline:
 
 * :mod:`repro.obs.trace` -- opt-in span trees for one compilation
   (``CompileOptions(trace=True)``), exportable as raw JSON or Chrome
-  trace-event JSON (Perfetto-loadable);
+  trace-event JSON (Perfetto-loadable), tagged with the service request id;
 * :mod:`repro.obs.metrics` -- counters, fixed-bucket latency histograms and
   the Prometheus text exposition behind ``GET /metrics``;
+* :mod:`repro.obs.analytics` -- mergeable streaming sketches over service
+  traffic: Space-Saving heavy hitters over request signatures
+  (``GET /analytics``), DDSketch-style latency quantiles
+  (``repro_*_latency{quantile=...}`` on ``/metrics``) and wall-clock
+  aligned counter rings (``GET /timeseries``);
+* :mod:`repro.obs.profile` -- opt-in per-request ``cProfile`` deep
+  profiles (``CompileOptions(profile=True)`` / ``POST /profile``), with
+  ``flamegraph.pl``-compatible collapsed-stack output;
 * :mod:`repro.obs.logging` -- JSON-lines logging setup for the service
-  (worker restarts, saturation rejections, snapshot loads/saves);
-* :mod:`repro.obs.explain` -- plan provenance reports
-  (:meth:`CompilationResult.explain`).
+  (worker restarts, saturation rejections, snapshot loads/saves), with a
+  token-bucket suppressor for per-request-triggerable warnings;
+* :mod:`repro.obs.explain` -- plan and execution provenance reports
+  (:meth:`CompilationResult.explain`, :meth:`ExecuteResponse.explain`).
 
-Tracing is zero-overhead when disabled: the hot DP loops never see a
-tracer object (``None`` tests happen at phase boundaries only), which
-``scripts/bench_generation.py --check-trace-overhead`` gates in CI.
+Tracing and profiling are zero-overhead when disabled (the hot DP loops
+never see a tracer or profiler object), and the always-on analytics layer
+is sketch-cheap; both properties are gated in CI by
+``scripts/bench_generation.py --check-trace-overhead`` and
+``--check-analytics-overhead``.
 """
 
-from .explain import explain_result, provenance_of
-from .logging import JsonFormatter, configure_logging, get_logger
+from .analytics import (
+    CounterRing,
+    QuantileSketch,
+    SpaceSavingSketch,
+    WorkloadAnalytics,
+    analytics_disabled,
+    analytics_enabled,
+    analytics_report,
+    merge_analytics_states,
+    render_quantile_lines,
+    service_analytics,
+    set_analytics_enabled,
+    timeseries_report,
+    workload_analytics,
+)
+from .explain import explain_execution, explain_result, provenance_of
+from .logging import (
+    JsonFormatter,
+    TokenBucketSuppressor,
+    configure_logging,
+    get_logger,
+    log_rate_limited,
+)
 from .metrics import (
     DEFAULT_LATENCY_BUCKETS,
     Counter,
@@ -28,21 +60,42 @@ from .metrics import (
     reset_service_metrics,
     service_metrics,
 )
+from .profile import collapsed_stacks, profile_call, profile_payload, top_functions
 from .trace import Span, Tracer
 
 __all__ = [
     "Counter",
+    "CounterRing",
     "DEFAULT_LATENCY_BUCKETS",
     "Histogram",
     "JsonFormatter",
     "MetricsRegistry",
+    "QuantileSketch",
     "Span",
+    "SpaceSavingSketch",
+    "TokenBucketSuppressor",
     "Tracer",
+    "WorkloadAnalytics",
+    "analytics_disabled",
+    "analytics_enabled",
+    "analytics_report",
+    "collapsed_stacks",
     "configure_logging",
+    "explain_execution",
     "explain_result",
     "get_logger",
+    "log_rate_limited",
+    "merge_analytics_states",
+    "profile_call",
+    "profile_payload",
     "provenance_of",
     "render_prometheus",
+    "render_quantile_lines",
     "reset_service_metrics",
+    "service_analytics",
     "service_metrics",
+    "set_analytics_enabled",
+    "timeseries_report",
+    "top_functions",
+    "workload_analytics",
 ]

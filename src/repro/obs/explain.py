@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
-__all__ = ["explain_result", "provenance_of"]
+__all__ = ["explain_execution", "explain_result", "provenance_of"]
 
 
 def provenance_of(compiled) -> str:
@@ -53,6 +53,7 @@ def explain_result(result) -> str:
         marker = "  (synthetic)" if compiled.synthetic else ""
         lines.append(f"  {compiled.target} := {compiled.expression}{marker}")
         lines.append(f"    provenance:      {_DESCRIPTIONS[provenance]}")
+        lines.append(f"    plan cache:      {_PLAN_CACHE_LINES[provenance]}")
         kernels = " -> ".join(compiled.kernel_sequence) or "<none: alias segment>"
         lines.append(f"    kernels:         {kernels}")
         lines.append(f"    FLOPs:           {compiled.flops:.4g}")
@@ -101,3 +102,51 @@ _DESCRIPTIONS = {
     "trivial": "trivial alias segment (nothing to solve)",
     "cold_dp": "cold dynamic-program solve",
 }
+
+#: Explicit per-segment plan-cache outcome (satellite of the analytics
+#: layer: hit/miss provenance at a glance, before the detail lines).
+_PLAN_CACHE_LINES = {
+    "plan_cache": "hit",
+    "trivial": "bypassed (alias segment, nothing to cache)",
+    "cold_dp": "miss (cold solve; plan stored for the next request)",
+}
+
+#: Display order and labels of the execution-tier phases.
+_EXECUTION_PHASES = (
+    ("compile_s", "compile"),
+    ("emit_s", "emit"),
+    ("import_s", "import"),
+    ("run_s", "run"),
+    ("validate_s", "validate"),
+    ("total_s", "total"),
+)
+
+
+def explain_execution(response) -> str:
+    """Per-phase provenance for one execution-tier response.
+
+    The ``/execute`` counterpart of :func:`explain_result`: renders the
+    compile/emit/import/run/validate timings an
+    :class:`~repro.exec.api.ExecuteResponse` carries, plus the module-cache
+    outcome and the validation verdict (also via
+    :meth:`ExecuteResponse.explain`).
+    """
+    lines: List[str] = ["execution phases:"]
+    timing = getattr(response, "timing", None) or {}
+    for key, label in _EXECUTION_PHASES:
+        if key in timing:
+            lines.append(f"  {label + ':':<10} {timing[key] * 1e3:.3f} ms")
+    cache = "hit (emit + import skipped)" if response.module_cache_hit else "miss"
+    lines.append(f"  module cache:    {cache}")
+    engine = response.engine
+    if response.implementation:
+        engine = f"{engine} ({response.implementation})"
+    lines.append(f"  engine:          {engine}")
+    if response.validated is not None:
+        verdict = "agrees with reference" if response.validated else "DIVERGED"
+        error = response.max_rel_error
+        detail = f" (max relative error {error:.3g})" if error is not None else ""
+        lines.append(f"  validation:      {verdict}{detail}")
+    if not response.ok:
+        lines.append(f"  FAILED in phase {response.phase!r}: {response.error}")
+    return "\n".join(lines)

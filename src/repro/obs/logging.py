@@ -21,10 +21,17 @@ from __future__ import annotations
 import json
 import logging
 import sys
+import threading
 import time
-from typing import IO, Optional, Union
+from typing import IO, Dict, List, Optional, Tuple, Union
 
-__all__ = ["JsonFormatter", "configure_logging", "get_logger"]
+__all__ = [
+    "JsonFormatter",
+    "TokenBucketSuppressor",
+    "configure_logging",
+    "get_logger",
+    "log_rate_limited",
+]
 
 #: Root of the library's logger namespace.
 ROOT_LOGGER = "repro"
@@ -111,3 +118,93 @@ def configure_logging(
 def timestamp() -> float:
     """Epoch seconds for log payloads (wall clock, cross-process comparable)."""
     return time.time()
+
+
+class TokenBucketSuppressor:
+    """Per-key token bucket deciding whether a repeated event may log.
+
+    A degenerate input (say, a client replaying a numerically divergent
+    ``/execute`` request in a tight loop) must not storm the structured
+    log with one warning per request.  Each key holds *burst* tokens
+    refilled at *rate* per second; an event with no token available is
+    suppressed, and the next emitted event for that key carries the number
+    of suppressions since the last emission as ``suppressed_count`` -- the
+    information survives, the storm does not.
+
+    Thread-safe (the HTTP server logs from its handler threads).  *clock*
+    is injectable for tests and defaults to ``time.monotonic``.
+    """
+
+    def __init__(
+        self, rate: float = 0.5, burst: int = 5, clock=time.monotonic
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be positive, got {rate!r}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst!r}")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._lock = threading.Lock()
+        #: key -> [tokens, last refill time, suppressed since last emit]
+        self._states: Dict[str, List[float]] = {}
+
+    def check(self, key: str) -> Tuple[bool, int]:
+        """``(emit, suppressed_count)`` for one occurrence of *key*.
+
+        ``suppressed_count`` is the number of occurrences swallowed since
+        the last emitted one (0 when nothing was suppressed); it is only
+        non-zero when ``emit`` is true, since it resets on emission.
+        """
+        now = self._clock()
+        with self._lock:
+            state = self._states.get(key)
+            if state is None:
+                state = self._states[key] = [self.burst, now, 0.0]
+            tokens = min(self.burst, state[0] + (now - state[1]) * self.rate)
+            state[1] = now
+            if tokens >= 1.0:
+                state[0] = tokens - 1.0
+                suppressed = int(state[2])
+                state[2] = 0.0
+                return True, suppressed
+            state[0] = tokens
+            state[2] += 1.0
+            return False, 0
+
+    def reset(self) -> None:
+        with self._lock:
+            self._states.clear()
+
+
+#: Process-wide default suppressor shared by :func:`log_rate_limited`.
+_DEFAULT_SUPPRESSOR = TokenBucketSuppressor()
+
+
+def log_rate_limited(
+    logger: logging.Logger,
+    level: Union[int, str],
+    event: str,
+    *,
+    key: Optional[str] = None,
+    suppressor: Optional[TokenBucketSuppressor] = None,
+    **fields,
+) -> bool:
+    """Log *event* unless its token bucket is exhausted.
+
+    Drop-in replacement for ``logger.warning(event, extra={...})`` on
+    paths a misbehaving client can trigger per-request.  The emitted
+    record carries ``suppressed_count`` -- how many identical events were
+    swallowed since the last one that got through.  Returns whether the
+    event was emitted.
+    """
+    if isinstance(level, str):
+        resolved = logging.getLevelName(level.upper())
+        if not isinstance(resolved, int):
+            raise ValueError(f"unknown log level {level!r}")
+        level = resolved
+    bucket = suppressor if suppressor is not None else _DEFAULT_SUPPRESSOR
+    emit, suppressed = bucket.check(key if key is not None else event)
+    if emit:
+        logger.log(level, event, extra={**fields, "suppressed_count": suppressed})
+    return emit

@@ -97,6 +97,11 @@ class Tracer:
         self.epoch = self._clock()
         self.roots: List[Span] = []
         self._stack: List[Span] = []
+        #: The service request id this trace belongs to, when the compile
+        #: ran behind the service (set by ``execute_request``); lands in
+        #: both export formats so traces join with structured log lines
+        #: and ``X-Request-Id`` response headers by id.
+        self.request_id: Optional[str] = None
 
     # -------------------------------------------------------------- recording
     def begin(self, name: str, **attrs: Any) -> Span:
@@ -165,12 +170,15 @@ class Tracer:
 
     def to_json(self) -> Dict[str, Any]:
         """The raw span tree as one JSON-compatible dict."""
-        return {
+        payload: Dict[str, Any] = {
             "format": "repro-trace",
             "version": 1,
             "unit": "seconds",
             "spans": [root.to_dict() for root in self.roots],
         }
+        if self.request_id is not None:
+            payload["request_id"] = self.request_id
+        return payload
 
     def to_chrome_trace(self) -> List[Dict[str, Any]]:
         """Chrome trace-event JSON (Perfetto / ``chrome://tracing``).
@@ -180,6 +188,18 @@ class Tracer:
         containment of the time windows on one pid/tid track.
         """
         events: List[Dict[str, Any]] = []
+        if self.request_id is not None:
+            # A metadata event labels the (single) process track with the
+            # request id, so Perfetto shows it without opening any slice.
+            events.append(
+                {
+                    "name": "process_labels",
+                    "ph": "M",
+                    "pid": 1,
+                    "tid": 1,
+                    "args": {"labels": f"request {self.request_id}"},
+                }
+            )
 
         def emit(span: Span) -> None:
             events.append(
@@ -208,6 +228,8 @@ class Tracer:
             payload: object = self.to_json()
         elif fmt == "chrome":
             payload = {"traceEvents": self.to_chrome_trace(), "displayTimeUnit": "ms"}
+            if self.request_id is not None:
+                payload["metadata"] = {"request_id": self.request_id}
         else:
             raise ValueError(f"unknown trace format {fmt!r}; use 'json' or 'chrome'")
         with open(path, "w", encoding="utf-8") as handle:

@@ -59,6 +59,7 @@ _WIRE_KEYS = (
     "cost_cache_size",
     "parallelism",
     "trace",
+    "profile",
 )
 
 
@@ -146,6 +147,13 @@ class CompileOptions:
     #: from the plan-cache fingerprint.  Off by default; the disabled hot
     #: path pays no per-cell cost.
     trace: bool = False
+    #: Run the solve under ``cProfile`` (:mod:`repro.obs.profile`) and
+    #: attach the top functions plus ``flamegraph.pl``-compatible
+    #: collapsed stacks to the response (``CompileResponse.profile``;
+    #: ``POST /profile`` returns the collapsed text directly).  Diagnostic
+    #: only -- like ``trace``/``parallelism`` it never changes the
+    #: solution and is excluded from the plan-cache fingerprint.
+    profile: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "emit", tuple(self.emit))
@@ -243,6 +251,8 @@ class CompileOptions:
             payload["parallelism"] = self.parallelism
         if self.trace:
             payload["trace"] = True
+        if self.profile:
+            payload["profile"] = True
         return payload
 
     @classmethod
@@ -274,4 +284,5 @@ class CompileOptions:
             cost_cache_size=None if cache_size is None else int(cache_size),
             parallelism=payload.get("parallelism", "serial"),
             trace=wire_bool("trace", default=False),
+            profile=wire_bool("profile", default=False),
         )

@@ -31,6 +31,12 @@ Endpoints (all JSON):
     ``repro_execute_phase_seconds`` histogram on ``/metrics``; validation
     failures increment ``repro_execute_validation_failures`` and emit one
     structured warning line.
+``POST /profile``
+    body: a ``/compile`` request dict; profiling is forced on
+    (``options.profile = true``) and the response is ``text/plain``
+    collapsed stacks (``frame;frame;frame count_µs`` lines) ready to pipe
+    straight into ``flamegraph.pl``.  400 with the JSON ``ok=False``
+    response when the compilation fails.
 ``POST /snapshot``
     persist the executor's cache state (plan cache + match cache) to the
     configured ``--snapshot-dir`` (:mod:`repro.persist.snapshot`); 200 with
@@ -43,7 +49,18 @@ Endpoints (all JSON):
     agent, or plain ``curl``): every pooled cache-telemetry layer as
     ``repro_<counter>{layer=...}`` gauges, the pool counters as
     ``repro_pool_*`` gauges and the per-endpoint request-latency
-    histograms (``repro_request_latency_seconds``).
+    histograms (``repro_request_latency_seconds``), plus streaming
+    quantile series (``repro_*_latency_seconds{quantile="0.5|0.95|0.99"}``)
+    rendered from the mergeable analytics sketches.
+``GET /analytics``
+    workload analytics (:mod:`repro.obs.analytics`): top-k heavy-hitter
+    request signatures (Space-Saving sketch, merged across pool workers)
+    with per-signature request counts, plan-hit rates and mean latencies,
+    plus per-phase/per-endpoint latency quantile summaries.
+``GET /timeseries``
+    time-series ring buffers of key counters (requests, plan hits, 429
+    rejections, validation failures) as ``[[unix_time, value], ...]``
+    series at the configured resolution/retention.
 ``GET /healthz``
     liveness: pings every worker (restarting dead ones), 200 when all are
     alive, 503 when degraded.
@@ -73,7 +90,15 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 from urllib.parse import urlparse
 
-from ..obs.logging import get_logger
+from ..obs.analytics import (
+    analytics_enabled,
+    analytics_report,
+    merge_analytics_states,
+    render_quantile_lines,
+    service_analytics,
+    timeseries_report,
+)
+from ..obs.logging import get_logger, log_rate_limited
 from ..obs.metrics import render_prometheus, service_metrics
 from .api import CompileRequest, RequestError
 from .pool import PoolSaturatedError
@@ -87,7 +112,18 @@ MAX_BODY_BYTES = 8 * 1024 * 1024
 #: Endpoints that get their own latency-histogram label; anything else is
 #: pooled under ``other`` so unknown paths cannot grow label cardinality.
 _KNOWN_ENDPOINTS = frozenset(
-    {"/healthz", "/stats", "/metrics", "/compile", "/batch", "/snapshot", "/execute"}
+    {
+        "/healthz",
+        "/stats",
+        "/metrics",
+        "/compile",
+        "/batch",
+        "/snapshot",
+        "/execute",
+        "/analytics",
+        "/timeseries",
+        "/profile",
+    }
 )
 
 _LOG = get_logger("service.http")
@@ -194,6 +230,12 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 endpoint=endpoint,
                 method=method,
             ).observe(elapsed)
+            if analytics_enabled():
+                # The quantile-sketch twin of the histogram above: true
+                # p50/p95/p99 per endpoint rather than bucket edges.
+                service_analytics().observe_latency(
+                    "endpoint_latency_seconds", "endpoint", endpoint, elapsed
+                )
             _LOG.info(
                 "http request",
                 extra={
@@ -216,24 +258,51 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(200, executor.stats())
             elif path == "/metrics":
                 self._send_text(200, self._render_metrics(executor))
+            elif path == "/analytics":
+                self._send_json(
+                    200,
+                    analytics_report(
+                        self._pooled_analytics(executor),
+                        service_analytics().state(),
+                    ),
+                )
+            elif path == "/timeseries":
+                merged = merge_analytics_states(
+                    [self._pooled_analytics(executor), service_analytics().state()]
+                )
+                self._send_json(200, timeseries_report(merged))
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
         except Exception as exc:  # noqa: BLE001 -- never drop the connection
             self._send_json(500, {"error": f"{type(exc).__name__}: {exc}"})
 
+    @staticmethod
+    def _pooled_analytics(executor) -> dict:
+        """The fleet-wide ``analytics`` telemetry layer (merged sketches)."""
+        stats = executor.stats()
+        return (stats.get("caches") or {}).get("analytics") or {}
+
     def _render_metrics(self, executor) -> str:
         """The ``GET /metrics`` body: Prometheus text exposition of the
-        pooled cache-telemetry layers, the pool counters and the HTTP
-        latency histograms."""
+        pooled cache-telemetry layers, the pool counters, the HTTP latency
+        histograms and the streaming-quantile latency series."""
         stats = executor.stats()
         gauges = {"service_workers": stats.get("workers", 0)}
         for key, value in (stats.get("pool") or {}).items():
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 gauges[f"pool_{key}"] = value
-        return render_prometheus(
+        body = render_prometheus(
             cache_layers=stats.get("caches") or {},
             registry=service_metrics(),
             extra_gauges=gauges,
+        )
+        # Quantile gauges use metric names of their own, so appending
+        # keeps every metric's samples contiguous as the format requires.
+        return body + render_quantile_lines(
+            [
+                (stats.get("caches") or {}).get("analytics"),
+                service_analytics().state(),
+            ]
         )
 
     def _observe_execution(self, response) -> None:
@@ -248,6 +317,10 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 help_text="POST /execute latency by phase, in seconds",
                 phase=key[:-2],
             ).observe(elapsed)
+            if analytics_enabled():
+                service_analytics().observe_latency(
+                    "execute_phase_latency_seconds", "phase", key[:-2], elapsed
+                )
         # Touched on every execute (not just failures) so the exposition
         # shows an explicit zero sample before the first divergence.
         failures = metrics.counter(
@@ -257,16 +330,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
         failures.inc(0.0)
         if response.validated is False:
             failures.inc()
-            _LOG.warning(
+            if analytics_enabled():
+                service_analytics().record_point("validation_failures")
+            # Token-bucket suppressed: a replayed divergent request must
+            # not emit one warning line per request.
+            log_rate_limited(
+                _LOG,
+                "warning",
                 "execute validation failed",
-                extra={
-                    "request_id": response.request_id,
-                    "engine": response.engine,
-                    "implementation": response.implementation,
-                    "max_rel_error": response.max_rel_error,
-                    "worker": response.worker,
-                    "error": response.error,
-                },
+                key="http-execute-validation",
+                request_id=response.request_id,
+                engine=response.engine,
+                implementation=response.implementation,
+                max_rel_error=response.max_rel_error,
+                worker=response.worker,
+                error=response.error,
             )
 
     def _handle_post(self, path: str) -> None:
@@ -320,6 +398,21 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
                 self._send_json(
                     200 if exec_response.ok else 400, exec_response.to_dict()
                 )
+            elif path == "/profile":
+                # A /compile request with profiling forced on; returns the
+                # collapsed stacks as text/plain, ready to pipe straight
+                # into flamegraph.pl.
+                if isinstance(payload, dict) and not payload.get("request_id"):
+                    payload = dict(payload, request_id=self._request_id)
+                request = CompileRequest.from_dict(payload)
+                request.options = request.options.replace(profile=True)
+                response = executor.submit(request)
+                self._request_id = response.request_id or self._request_id
+                if not response.ok:
+                    self._send_json(400, response.to_dict())
+                else:
+                    collapsed = (response.profile or {}).get("collapsed", "")
+                    self._send_text(200, collapsed)
             elif path == "/batch":
                 if not isinstance(payload, dict) or not isinstance(
                     payload.get("requests"), list
@@ -340,6 +433,8 @@ class _ServiceRequestHandler(BaseHTTPRequestHandler):
             else:
                 self._send_json(404, {"error": f"unknown path {path!r}"})
         except PoolSaturatedError as exc:
+            if analytics_enabled():
+                service_analytics().record_point("rejections_429")
             retry_after = max(1, math.ceil(exc.retry_after))
             self._send_json(
                 429,

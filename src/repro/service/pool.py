@@ -261,6 +261,11 @@ class InProcessExecutor:
             ],
         }
 
+    def analytics(self) -> dict:
+        """The workload-analytics sketch state (:mod:`repro.obs.analytics`)
+        of this process's compiler session."""
+        return (self.stats().get("caches") or {}).get("analytics") or {}
+
     def reset_stats(self) -> None:
         with self._lock:
             self.compiler.reset_cache_stats()
@@ -814,6 +819,12 @@ class WorkerPool:
             },
             "per_worker": per_worker,
         }
+
+    def analytics(self, timeout: float = 30.0) -> dict:
+        """Fleet-wide workload-analytics state: every worker's sketches,
+        merged (heavy-hitter counters unite, quantile buckets add,
+        time-series slots align by absolute index)."""
+        return (self.stats(timeout).get("caches") or {}).get("analytics") or {}
 
     def save_snapshot(self, timeout: float = 60.0) -> dict:
         """Merge every worker's cache state and persist it atomically.

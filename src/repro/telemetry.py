@@ -30,7 +30,15 @@ each of which exposes the uniform ``stats()`` / ``reset_stats()`` protocol
 * the **execution counters**
   (:class:`repro.exec.loader.ExecutionTelemetry`) -- emitted-module cache
   occupancy/hits of the execution tier plus the runs, run errors and
-  numerical-validation failures recorded by ``POST /execute``.
+  numerical-validation failures recorded by ``POST /execute``;
+* the **workload analytics** layer
+  (:class:`repro.obs.analytics.WorkloadAnalytics`) -- mergeable streaming
+  sketches over served traffic: Space-Saving heavy hitters over request
+  signatures, latency quantile sketches and time-series counter rings.
+  Unlike the counter layers this one aggregates by *sketch merging*
+  (:func:`repro.obs.analytics.merge_analytics_states`), not by summing,
+  so pool workers ship their sketch state through the same ``stats``
+  message and ``GET /analytics`` sees fleet-wide top-k and quantiles.
 
 This module never mutates pipeline state beyond ``reset_stats``; it only
 *reads* the counters the layers maintain themselves, so the service layer
@@ -65,6 +73,7 @@ CACHE_LAYERS = (
     "solver",
     "segments",
     "execution",
+    "analytics",
 )
 
 #: Counter keys that add up across workers / metric instances.
@@ -123,6 +132,7 @@ def snapshot(
     # registry's own bootstrap imports repro.exec -- deferring here keeps
     # telemetry importable from any point of that cycle.
     from .exec.loader import execution_telemetry
+    from .obs.analytics import workload_analytics
 
     catalog = catalog if catalog is not None else default_catalog()
     plan_stats = (
@@ -161,6 +171,7 @@ def snapshot(
         "solver": solver_work_telemetry().stats(),
         "segments": segment_telemetry().stats(),
         "execution": execution_telemetry().stats(),
+        "analytics": workload_analytics().state(),
     }
 
 
@@ -171,6 +182,7 @@ def reset(
 ) -> None:
     """Zero the stats counters of every layer (entries stay warm)."""
     from .exec.loader import execution_telemetry
+    from .obs.analytics import workload_analytics
 
     catalog = catalog if catalog is not None else default_catalog()
     if plan_cache is not None:
@@ -181,16 +193,28 @@ def reset(
     solver_work_telemetry().reset_stats()
     segment_telemetry().reset_stats()
     execution_telemetry().reset_stats()
+    workload_analytics().reset()
     for metric in (metrics or {}).values():
         metric.reset_stats()
 
 
 def aggregate(snapshots: Iterable[Mapping[str, Mapping]]) -> Dict[str, dict]:
-    """Pool per-worker snapshots into fleet-wide counters per layer."""
+    """Pool per-worker snapshots into fleet-wide counters per layer.
+
+    Counter layers sum; the ``analytics`` layer merges sketch-wise
+    (heavy-hitter counters unite, quantile buckets add, time-series slots
+    align by absolute index) -- summing a sketch state key-by-key would be
+    meaningless.
+    """
+    from .obs.analytics import merge_analytics_states
+
     snapshots = list(snapshots)
     pooled: Dict[str, dict] = {}
     for layer in CACHE_LAYERS:
         entries = [snap[layer] for snap in snapshots if layer in snap]
-        pooled[layer] = _combine(entries, layer)
+        if layer == "analytics":
+            pooled[layer] = merge_analytics_states(entries)
+        else:
+            pooled[layer] = _combine(entries, layer)
     pooled["workers"] = len(snapshots)
     return pooled

@@ -58,6 +58,12 @@ class TestUniformProtocol:
         pooled = telemetry.aggregate([snap, snap])
         assert pooled["workers"] == 2
         for layer in telemetry.CACHE_LAYERS:
+            if layer == "analytics":
+                # The analytics layer aggregates by sketch merging, not by
+                # counter summing (see repro.obs.analytics); covered in
+                # tests/test_analytics.py.
+                assert pooled[layer]["requests"] == 2 * snap[layer]["requests"]
+                continue
             assert pooled[layer]["hits"] == 2 * snap[layer]["hits"]
             assert pooled[layer]["misses"] == 2 * snap[layer]["misses"]
         # Pooled rate is recomputed from pooled counters, never averaged.
